@@ -1,0 +1,30 @@
+# Convenience targets for the Thetacrypt reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-fast bench bench-fast examples fixtures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow and not integration"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-fast:
+	REPRO_FAST=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done
+
+fixtures:
+	$(PYTHON) tools/gen_rsa_fixtures.py 512 1024 2048 4096
+
+clean:
+	find . -type d -name __pycache__ -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis

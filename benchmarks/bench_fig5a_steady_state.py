@@ -1,0 +1,75 @@
+"""Figure 5a — Five-minute experiments at knee capacity (DO-31-G).
+
+Long steady-state runs at each scheme's knee rate on the medium global
+deployment, reporting the per-node latency distribution: L_θ^net, L_50^net,
+L_95^net — the bars of Fig. 5a.  Checks the paper's qualitative findings:
+schemes with expensive local computation (SH00, KG20) sit highest, and the
+L_θ→L_95 gap is widest for the cheap DH-based schemes.
+"""
+
+import pytest
+
+from repro.sim.deployments import DEPLOYMENTS
+from repro.sim.experiments import steady_state
+from repro.sim.plotting import bar_chart
+
+from _common import fast_mode, ms, print_table
+
+#: Knee capacities from Table 4 (the load for the steady-state runs).
+KNEE_RATES = {"sg02": 8, "bz03": 4, "sh00": 2, "bls04": 4, "kg20": 4, "cks05": 8}
+
+
+def test_fig5a_steady_state(benchmark):
+    deployment = DEPLOYMENTS["DO-31-G"]
+    duration = 30.0 if fast_mode() else 120.0
+    results = {}
+
+    def run():
+        for scheme, rate in KNEE_RATES.items():
+            results[scheme] = steady_state(
+                deployment, scheme, rate=rate, duration=duration
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for scheme in ("sg02", "bz03", "sh00", "bls04", "kg20", "cks05"):
+        m = results[scheme]
+        rows.append(
+            [
+                scheme,
+                f"{m.rate:g}",
+                ms(m.l_theta_net),
+                ms(m.l50_net),
+                ms(m.l95_net),
+                f"{m.completed}/{m.offered}",
+            ]
+        )
+    print_table(
+        "Fig. 5a: steady state at knee capacity (DO-31-G)",
+        ["scheme", "rate", "Lθ^net (ms)", "L50^net (ms)", "L95^net (ms)", "done"],
+        rows,
+    )
+
+    print("\nLθ^net bars (Fig. 5a shape):")
+    print(
+        bar_chart(
+            {s: results[s].l_theta_net * 1000 for s in
+             ("sg02", "bz03", "sh00", "bls04", "kg20", "cks05")}
+        )
+    )
+
+    # Expensive local computation pushes the whole distribution up: SH00 has
+    # the highest threshold latency (Fig. 5a's tallest bars).
+    assert results["sh00"].l_theta_net > results["sg02"].l_theta_net
+    assert results["sh00"].l_theta_net > results["bls04"].l_theta_net
+    # KG20's two rounds put it above the one-round DH schemes.
+    assert results["kg20"].l_theta_net > results["sg02"].l_theta_net
+    # The visible Lθ → L95 gap is widest for the cheap DH-based schemes
+    # (their nodes finish at network-staggered times).
+    gap = lambda m: m.l95_net - m.l_theta_net  # noqa: E731
+    assert gap(results["sg02"]) > gap(results["kg20"])
+    assert gap(results["cks05"]) > gap(results["kg20"])
+    # Every node completed work and the runs were genuinely loaded.
+    for m in results.values():
+        assert m.completed == m.offered

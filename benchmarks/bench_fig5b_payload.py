@@ -1,0 +1,51 @@
+"""Figure 5b — Impact of the request payload size on L_θ.
+
+Repeats the steady-state run while sweeping the payload from 256 B to 4 KiB
+(§4.2).  The paper's finding: payload size does not significantly affect
+latency, because signatures and coins hash the message first and the
+ciphers use hybrid encryption (§4.5).
+"""
+
+from repro.sim.deployments import DEPLOYMENTS
+from repro.sim.experiments import payload_sweep
+
+from _common import fast_mode, ms, print_table
+
+KNEE_RATES = {"sg02": 8, "bz03": 4, "sh00": 2, "bls04": 4, "kg20": 4, "cks05": 8}
+PAYLOADS = (256, 512, 1024, 2048, 4096)
+
+
+def test_fig5b_payload_size(benchmark):
+    deployment = DEPLOYMENTS["DO-31-G"]
+    duration = 15.0 if fast_mode() else 45.0
+    schemes = ("sg02", "sh00") if fast_mode() else tuple(KNEE_RATES)
+    results = {}
+
+    def run():
+        for scheme in schemes:
+            results[scheme] = payload_sweep(
+                deployment,
+                scheme,
+                rate=KNEE_RATES[scheme],
+                payload_sizes=PAYLOADS,
+                duration=duration,
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for scheme in schemes:
+        for point in results[scheme]:
+            rows.append([scheme, point.payload_bytes, ms(point.l_theta_net)])
+    print_table(
+        "Fig. 5b: payload size vs Lθ (DO-31-G at knee capacity)",
+        ["scheme", "payload (B)", "Lθ^net (ms)"],
+        rows,
+    )
+
+    # Flatness: the largest payload costs at most 10% over the smallest.
+    for scheme in schemes:
+        lthetas = [p.l_theta_net for p in results[scheme]]
+        assert max(lthetas) <= 1.10 * min(lthetas), (
+            f"{scheme}: payload size visibly affects latency {lthetas}"
+        )

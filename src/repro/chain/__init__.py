@@ -1,0 +1,19 @@
+"""A minimal blockchain host platform (the deployment of Fig. 1).
+
+The paper's envisaged deployment embeds the Thetacrypt module (Θ) into each
+node of a blockchain network that provides state-machine replication.  This
+package supplies that host platform: validators with a mempool, a
+round-robin block proposer over total-order broadcast, and a deterministic
+account state machine — plus the bridge endpoint that lets a Thetacrypt
+instance attach through the P2P/TOB *proxy* modules of §3.6.
+
+The flagship application is the paper's front-running example: users submit
+SG02-encrypted transactions; validators order ciphertexts first and only
+then jointly decrypt and execute them.
+"""
+
+from .types import Block, Transaction, block_hash
+from .state import AccountState
+from .validator import ValidatorNode
+
+__all__ = ["Block", "Transaction", "block_hash", "AccountState", "ValidatorNode"]

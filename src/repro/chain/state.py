@@ -1,0 +1,78 @@
+"""Deterministic account state machine executed by every validator.
+
+Transactions are tiny textual commands (kept human-readable for the demos)::
+
+    mint <account> <amount>
+    transfer <from> <to> <amount>
+
+Execution is deterministic and sequential, so replicas that apply the same
+block sequence hold identical state — the property Thetacrypt's service
+semantics rely on (§3.2: each node "executes an application with
+deterministic operations").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..errors import ThetacryptError
+
+
+class InvalidTransactionError(ThetacryptError):
+    """The command was malformed or violated a balance constraint."""
+
+
+@dataclass
+class AccountState:
+    """Account balances plus an applied-transaction journal."""
+
+    balances: dict[str, int] = field(default_factory=dict)
+    applied: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+
+    def execute(self, command: bytes) -> None:
+        """Apply one plaintext command; invalid commands are journaled."""
+        try:
+            self._apply(command.decode("utf-8", errors="strict"))
+        except (InvalidTransactionError, UnicodeDecodeError) as exc:
+            self.rejected.append(f"{command!r}: {exc}")
+
+    def _apply(self, text: str) -> None:
+        parts = text.split()
+        if not parts:
+            raise InvalidTransactionError("empty command")
+        if parts[0] == "mint" and len(parts) == 3:
+            account, amount = parts[1], self._amount(parts[2])
+            self.balances[account] = self.balances.get(account, 0) + amount
+        elif parts[0] == "transfer" and len(parts) == 4:
+            source, target = parts[1], parts[2]
+            amount = self._amount(parts[3])
+            if self.balances.get(source, 0) < amount:
+                raise InvalidTransactionError(
+                    f"insufficient funds: {source} has "
+                    f"{self.balances.get(source, 0)}, needs {amount}"
+                )
+            self.balances[source] -= amount
+            self.balances[target] = self.balances.get(target, 0) + amount
+        else:
+            raise InvalidTransactionError(f"unknown command {parts[0]!r}")
+        self.applied.append(text)
+
+    @staticmethod
+    def _amount(text: str) -> int:
+        try:
+            amount = int(text)
+        except ValueError as exc:
+            raise InvalidTransactionError(f"bad amount {text!r}") from exc
+        if amount <= 0:
+            raise InvalidTransactionError("amount must be positive")
+        return amount
+
+    def state_root(self) -> bytes:
+        """Commitment to the balances (replicas must agree on this)."""
+        digest = hashlib.sha256()
+        for account in sorted(self.balances):
+            digest.update(account.encode())
+            digest.update(self.balances[account].to_bytes(16, "big", signed=False))
+        return digest.digest()

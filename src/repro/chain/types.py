@@ -1,0 +1,85 @@
+"""Chain data types: transactions and blocks, with canonical hashing."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import SerializationError
+from ..serialization import Reader, encode_bytes, encode_int, encode_str
+
+_GENESIS_PARENT = bytes(32)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An opaque payload submitted by a client.
+
+    ``encrypted`` marks ciphertext transactions (front-running protection):
+    their payload is an SG02 ciphertext that validators threshold-decrypt
+    only after the transaction's position in the chain is final.
+    """
+
+    sender: str
+    payload: bytes
+    encrypted: bool = False
+
+    def to_bytes(self) -> bytes:
+        return (
+            encode_str(self.sender)
+            + encode_bytes(self.payload)
+            + encode_int(1 if self.encrypted else 0)
+        )
+
+    @staticmethod
+    def read_from(reader: Reader) -> "Transaction":
+        sender = reader.read_str()
+        payload = reader.read_bytes()
+        encrypted = reader.read_int()
+        if encrypted not in (0, 1):
+            raise SerializationError("invalid encrypted flag")
+        return Transaction(sender, payload, bool(encrypted))
+
+    @property
+    def tx_id(self) -> str:
+        return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A batch of ordered transactions."""
+
+    height: int
+    parent: bytes
+    proposer: int
+    transactions: tuple[Transaction, ...]
+
+    def to_bytes(self) -> bytes:
+        body = (
+            encode_int(self.height)
+            + encode_bytes(self.parent)
+            + encode_int(self.proposer)
+            + encode_int(len(self.transactions))
+        )
+        for transaction in self.transactions:
+            body += transaction.to_bytes()
+        return body
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Block":
+        reader = Reader(data)
+        height = reader.read_int()
+        parent = reader.read_bytes()
+        proposer = reader.read_int()
+        count = reader.read_int()
+        transactions = tuple(Transaction.read_from(reader) for _ in range(count))
+        reader.finish()
+        return Block(height, parent, proposer, transactions)
+
+
+def block_hash(block: Block) -> bytes:
+    return hashlib.sha256(b"repro-chain-block" + block.to_bytes()).digest()
+
+
+def genesis_parent() -> bytes:
+    return _GENESIS_PARENT

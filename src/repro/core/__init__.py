@@ -1,0 +1,12 @@
+"""Core layer: protocol logic (TRI), orchestration, and key management.
+
+This is "the main part of Thetacrypt" (§3.5): it connects the cryptographic
+primitives of :mod:`repro.schemes` with the network layer, strictly
+separating local computation (schemes) from inter-node coordination
+(protocols + orchestration).
+"""
+
+from .tri import ThresholdRoundProtocol
+from .messages import Channel, ProtocolMessage
+
+__all__ = ["ThresholdRoundProtocol", "Channel", "ProtocolMessage"]

@@ -1,0 +1,71 @@
+"""Protocol messages exchanged between Thetacrypt instances.
+
+Every message produced by :meth:`ThresholdRoundProtocol.do_round` "indicates
+whether it is to be transported to other parties using P2P communication or
+broadcast to all using TOB" (§3.5) — that is the :class:`Channel` flag.
+Directed messages (``recipient`` set) support protocols like DKG whose
+sub-shares are addressed to a single party.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SerializationError
+from ..serialization import Reader, encode_bytes, encode_int, encode_str
+
+
+class Channel(enum.Enum):
+    """Transport requested by the protocol for a message."""
+
+    P2P = "p2p"
+    TOB = "tob"
+
+
+@dataclass(frozen=True)
+class ProtocolMessage:
+    """One unit of protocol communication.
+
+    ``instance_id`` routes the message to the right protocol instance on the
+    receiving node; ``round`` lets receivers buffer early messages;
+    ``recipient`` of ``0`` means "all peers".
+    """
+
+    instance_id: str
+    sender: int
+    round: int
+    channel: Channel
+    payload: bytes
+    recipient: int = 0  # 0 = broadcast to all parties
+
+    def is_directed(self) -> bool:
+        return self.recipient != 0
+
+    def to_bytes(self) -> bytes:
+        return (
+            encode_str(self.instance_id)
+            + encode_int(self.sender)
+            + encode_int(self.round)
+            + encode_str(self.channel.value)
+            + encode_bytes(self.payload)
+            + encode_int(self.recipient)
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "ProtocolMessage":
+        reader = Reader(data)
+        instance_id = reader.read_str()
+        sender = reader.read_int()
+        round_number = reader.read_int()
+        channel_name = reader.read_str()
+        payload = reader.read_bytes()
+        recipient = reader.read_int()
+        reader.finish()
+        try:
+            channel = Channel(channel_name)
+        except ValueError as exc:
+            raise SerializationError(f"unknown channel {channel_name!r}") from exc
+        return ProtocolMessage(
+            instance_id, sender, round_number, channel, payload, recipient
+        )

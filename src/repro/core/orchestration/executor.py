@@ -1,0 +1,106 @@
+"""The protocol executor: a generic asyncio driver for TRI protocols.
+
+"The executor is designed to be generic and flexible, allowing the
+integration of different TRI protocols.  It is responsible for ensuring
+correct execution and proper termination of an instance" (§3.5).  The
+executor never inspects scheme specifics: it forwards outgoing messages,
+feeds incoming ones to :meth:`update`, and polls the two readiness
+predicates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Awaitable, Callable
+
+from ...errors import CryptoError, ProtocolAbortedError, SerializationError
+from ..messages import ProtocolMessage
+from ..tri import ThresholdRoundProtocol
+from .instance import InstanceRecord
+
+logger = logging.getLogger(__name__)
+
+SendFn = Callable[[ProtocolMessage], Awaitable[None]]
+
+
+class ProtocolExecutor:
+    """Drives one protocol instance to termination."""
+
+    def __init__(
+        self,
+        protocol: ThresholdRoundProtocol,
+        record: InstanceRecord,
+        send: SendFn,
+        timeout: float | None = None,
+    ):
+        self.protocol = protocol
+        self.record = record
+        self._send = send
+        self._timeout = timeout
+        self.inbox: asyncio.Queue[ProtocolMessage] = asyncio.Queue()
+        self.result_future: asyncio.Future[bytes] = (
+            asyncio.get_event_loop().create_future()
+        )
+
+    async def deliver(self, message: ProtocolMessage) -> None:
+        """Called by the instance manager for every routed network message."""
+        await self.inbox.put(message)
+
+    async def run(self) -> None:
+        """Execute until the protocol finalizes, aborts, or times out."""
+        self.record.mark_running()
+        try:
+            if self._timeout is not None:
+                await asyncio.wait_for(self._run_inner(), self._timeout)
+            else:
+                await self._run_inner()
+        except asyncio.TimeoutError:
+            self._fail(f"instance {self.protocol.instance_id} timed out")
+        except ProtocolAbortedError as exc:
+            self._fail(f"protocol aborted: {exc}")
+        except CryptoError as exc:
+            self._fail(f"cryptographic failure: {exc}")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the node
+            logger.exception("executor crashed for %s", self.protocol.instance_id)
+            self._fail(f"internal error: {exc}")
+
+    async def _run_inner(self) -> None:
+        for message in self.protocol.do_round():
+            await self._send(message)
+        while True:
+            if self.protocol.is_ready_to_finalize():
+                self._finish(self.protocol.finalize())
+                return
+            message = await self.inbox.get()
+            try:
+                self.protocol.update(message)
+            except ProtocolAbortedError:
+                raise
+            except (CryptoError, SerializationError) as exc:
+                # A bad share from a faulty party: drop it and keep waiting;
+                # robust schemes terminate as long as t+1 honest shares arrive.
+                logger.warning(
+                    "instance %s: rejected message from party %d: %s",
+                    self.protocol.instance_id,
+                    message.sender,
+                    exc,
+                )
+                continue
+            if self.protocol.is_ready_to_finalize():
+                self._finish(self.protocol.finalize())
+                return
+            if self.protocol.is_ready_for_next_round():
+                self.protocol.advance_round()
+                for outgoing in self.protocol.do_round():
+                    await self._send(outgoing)
+
+    def _finish(self, result: bytes) -> None:
+        self.record.mark_finished(result)
+        if not self.result_future.done():
+            self.result_future.set_result(result)
+
+    def _fail(self, reason: str) -> None:
+        self.record.mark_failed(reason)
+        if not self.result_future.done():
+            self.result_future.set_exception(ProtocolAbortedError(reason))

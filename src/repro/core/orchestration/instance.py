@@ -1,0 +1,55 @@
+"""Protocol instance bookkeeping: status, timestamps, results."""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from ...errors import ProtocolError
+
+
+class InstanceStatus(enum.Enum):
+    """Lifecycle of a protocol instance (creation → progression → termination)."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class InstanceRecord:
+    """What the instance manager tracks about one protocol instance."""
+
+    instance_id: str
+    scheme: str
+    status: InstanceStatus = InstanceStatus.CREATED
+    created_at: float = field(default_factory=time.monotonic)
+    finished_at: float | None = None
+    result: bytes | None = None
+    error: str | None = None
+
+    def mark_running(self) -> None:
+        self.status = InstanceStatus.RUNNING
+
+    def mark_finished(self, result: bytes) -> None:
+        if self.status in (InstanceStatus.FINISHED, InstanceStatus.FAILED):
+            raise ProtocolError(f"instance {self.instance_id} already terminated")
+        self.status = InstanceStatus.FINISHED
+        self.result = result
+        self.finished_at = time.monotonic()
+
+    def mark_failed(self, error: str) -> None:
+        if self.status in (InstanceStatus.FINISHED, InstanceStatus.FAILED):
+            raise ProtocolError(f"instance {self.instance_id} already terminated")
+        self.status = InstanceStatus.FAILED
+        self.error = error
+        self.finished_at = time.monotonic()
+
+    @property
+    def latency(self) -> float | None:
+        """Server-side latency (creation → termination), the paper's metric."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.created_at

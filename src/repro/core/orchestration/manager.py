@@ -1,0 +1,124 @@
+"""The instance manager: creation, progression, and termination tracking.
+
+"Its main component is the instance manager that keeps track of the
+instances and is responsible for managing the state of every new instance"
+(§3.5).  The manager also owns the message backlog: protocol messages can
+arrive from fast peers *before* the local node has created the matching
+instance (the request races the first share), so undeliverable messages are
+buffered and drained at creation time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from collections import defaultdict
+
+from ...errors import ProtocolAbortedError, ProtocolError
+from ..messages import ProtocolMessage
+from ..tri import ThresholdRoundProtocol
+from .executor import ProtocolExecutor, SendFn
+from .instance import InstanceRecord, InstanceStatus
+
+logger = logging.getLogger(__name__)
+
+#: Upper bound on buffered early messages per instance; beyond this the
+#: sender is either byzantine or the request was dropped locally.
+_BACKLOG_LIMIT = 4096
+
+
+class InstanceManager:
+    """Tracks every protocol instance running on one node."""
+
+    def __init__(self, party_id: int, send: SendFn, default_timeout: float | None = 60.0):
+        self.party_id = party_id
+        self._send = send
+        self._default_timeout = default_timeout
+        self._executors: dict[str, ProtocolExecutor] = {}
+        self._records: dict[str, InstanceRecord] = {}
+        self._backlog: dict[str, list[ProtocolMessage]] = defaultdict(list)
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- creation -------------------------------------------------------------
+
+    def start_instance(
+        self,
+        protocol: ThresholdRoundProtocol,
+        scheme: str,
+        timeout: float | None = None,
+    ) -> InstanceRecord:
+        """Create and launch an instance; idempotent on instance id."""
+        instance_id = protocol.instance_id
+        if instance_id in self._records:
+            return self._records[instance_id]
+        record = InstanceRecord(instance_id, scheme)
+        executor = ProtocolExecutor(
+            protocol,
+            record,
+            self._send,
+            timeout=timeout if timeout is not None else self._default_timeout,
+        )
+        self._records[instance_id] = record
+        self._executors[instance_id] = executor
+        task = asyncio.get_event_loop().create_task(executor.run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        # Drain messages that beat the request to this node.
+        for message in self._backlog.pop(instance_id, []):
+            executor.inbox.put_nowait(message)
+        return record
+
+    # -- message routing --------------------------------------------------------
+
+    async def handle_network_message(self, message: ProtocolMessage) -> None:
+        """Route an incoming protocol message to its instance (or buffer it)."""
+        executor = self._executors.get(message.instance_id)
+        if executor is not None:
+            record = self._records[message.instance_id]
+            if record.status in (InstanceStatus.FINISHED, InstanceStatus.FAILED):
+                return  # residual message from a slow peer; §4.5 discusses these
+            await executor.deliver(message)
+            return
+        backlog = self._backlog[message.instance_id]
+        if len(backlog) >= _BACKLOG_LIMIT:
+            logger.warning(
+                "backlog overflow for unknown instance %s; dropping message",
+                message.instance_id,
+            )
+            return
+        backlog.append(message)
+
+    # -- results ------------------------------------------------------------------
+
+    async def result(self, instance_id: str) -> bytes:
+        """Await the result of an instance (raises on abort/timeout)."""
+        executor = self._executors.get(instance_id)
+        if executor is None:
+            raise ProtocolError(f"unknown instance {instance_id!r}")
+        return await asyncio.shield(executor.result_future)
+
+    def record(self, instance_id: str) -> InstanceRecord:
+        if instance_id not in self._records:
+            raise ProtocolError(f"unknown instance {instance_id!r}")
+        return self._records[instance_id]
+
+    def records(self) -> list[InstanceRecord]:
+        return list(self._records.values())
+
+    @property
+    def active_count(self) -> int:
+        return sum(
+            1
+            for record in self._records.values()
+            if record.status in (InstanceStatus.CREATED, InstanceStatus.RUNNING)
+        )
+
+    async def shutdown(self) -> None:
+        """Cancel all running executors (node shutdown)."""
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, ProtocolAbortedError):
+                pass

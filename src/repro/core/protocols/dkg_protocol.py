@@ -1,0 +1,123 @@
+"""Distributed key generation as a (multi-message) TRI protocol.
+
+Each party deals a random secret: the Feldman commitments are broadcast and
+every sub-share travels in a *directed* P2P message to its recipient.  Once
+deals from all parties arrived, each party finalizes locally per
+:func:`repro.schemes.dkg.finalize`.  A dealer whose sub-share fails the VSS
+check is disqualified there; the run aborts only if fewer than t+1 dealers
+remain.
+"""
+
+from __future__ import annotations
+
+from ...errors import ProtocolError
+from ...groups.base import Group
+from ...schemes.dkg import DkgDeal, DkgResult, deal, finalize
+from ...serialization import Reader, encode_bytes, encode_int
+from ...sharing.feldman import FeldmanCommitment
+from ...sharing.shamir import ShamirShare
+from ..messages import Channel, ProtocolMessage
+from ..tri import ThresholdRoundProtocol
+
+
+def _encode_deal_for(deal_: DkgDeal, recipient: int) -> bytes:
+    body = encode_int(deal_.dealer_id)
+    body += encode_int(len(deal_.commitment.commitments))
+    for commitment in deal_.commitment.commitments:
+        body += encode_bytes(commitment.to_bytes())
+    share = deal_.sub_shares[recipient]
+    body += encode_int(share.id) + encode_int(share.value)
+    return body
+
+
+def _decode_deal(data: bytes, group: Group) -> tuple[int, FeldmanCommitment, ShamirShare]:
+    reader = Reader(data)
+    dealer_id = reader.read_int()
+    count = reader.read_int()
+    commitments = tuple(
+        group.element_from_bytes(reader.read_bytes()) for _ in range(count)
+    )
+    share = ShamirShare(reader.read_int(), reader.read_int())
+    reader.finish()
+    return dealer_id, FeldmanCommitment(commitments), share
+
+
+class DkgProtocol(ThresholdRoundProtocol):
+    """Joint-Feldman DKG at one party."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        party_id: int,
+        threshold: int,
+        parties: int,
+        group: Group,
+        channel: Channel = Channel.P2P,
+    ):
+        super().__init__(instance_id, party_id)
+        self._threshold = threshold
+        self._parties = parties
+        self._group = group
+        self._channel = channel
+        self._own_deal: DkgDeal | None = None
+        self._received: dict[int, DkgDeal] = {}
+        self._result: DkgResult | None = None
+        self._started = False
+
+    def do_round(self) -> list[ProtocolMessage]:
+        if self._started:
+            raise ProtocolError("DKG deals once")
+        self._started = True
+        self._own_deal = deal(self.party_id, self._threshold, self._parties, self._group)
+        self._received[self.party_id] = self._own_deal
+        messages = []
+        for recipient in range(1, self._parties + 1):
+            if recipient == self.party_id:
+                continue
+            messages.append(
+                ProtocolMessage(
+                    self.instance_id,
+                    self.party_id,
+                    round=0,
+                    channel=self._channel,
+                    payload=_encode_deal_for(self._own_deal, recipient),
+                    recipient=recipient,
+                )
+            )
+        return messages
+
+    def update(self, message: ProtocolMessage) -> None:
+        if message.sender == self.party_id:
+            return
+        dealer_id, commitment, share = _decode_deal(message.payload, self._group)
+        if dealer_id != message.sender:
+            raise ProtocolError(
+                f"deal claims dealer {dealer_id} but came from {message.sender}"
+            )
+        if share.id != self.party_id:
+            raise ProtocolError("received a sub-share addressed to another party")
+        # Reconstruct a single-recipient view of the deal for finalize().
+        self._received[dealer_id] = DkgDeal(
+            dealer_id, commitment, {self.party_id: share}
+        )
+
+    def is_ready_for_next_round(self) -> bool:
+        return False
+
+    def is_ready_to_finalize(self) -> bool:
+        return self._started and len(self._received) == self._parties
+
+    def finalize(self) -> bytes:
+        if not self.is_ready_to_finalize():
+            raise ProtocolError("DKG finalize before all deals arrived")
+        self._result = finalize(
+            self.party_id, self._threshold, self._parties, self._group, self._received
+        )
+        self.mark_finalized()
+        return self._result.group_key.to_bytes()
+
+    @property
+    def result(self) -> DkgResult:
+        if self._result is None:
+            raise ProtocolError("DKG not finalized yet")
+        return self._result

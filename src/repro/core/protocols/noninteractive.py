@@ -1,0 +1,69 @@
+"""The generic one-round protocol for non-interactive threshold schemes.
+
+All five non-interactive schemes (SG02, BZ03, SH00, BLS04, CKS05) follow the
+same pattern: in the single round each party computes its partial result and
+sends it to every peer over P2P; upon collecting t+1 valid partial results
+(its own included) each party finalizes by combining them locally.  The
+scheme specifics live entirely in the :class:`ShareOperation` adapter.
+"""
+
+from __future__ import annotations
+
+from ...errors import ProtocolError
+from ..messages import Channel, ProtocolMessage
+from ..tri import ThresholdRoundProtocol
+from .operations import ShareOperation
+
+
+class NonInteractiveProtocol(ThresholdRoundProtocol):
+    """TRI wrapper around a single :class:`ShareOperation`."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        party_id: int,
+        operation: ShareOperation,
+        channel: Channel = Channel.P2P,
+    ):
+        super().__init__(instance_id, party_id)
+        self._operation = operation
+        self._channel = channel
+        self._started = False
+
+    def do_round(self) -> list[ProtocolMessage]:
+        if self._started:
+            raise ProtocolError(
+                f"instance {self.instance_id}: non-interactive protocol "
+                "has a single round"
+            )
+        self._started = True
+        payload = self._operation.create_own_share()
+        return [
+            ProtocolMessage(
+                instance_id=self.instance_id,
+                sender=self.party_id,
+                round=0,
+                channel=self._channel,
+                payload=payload,
+            )
+        ]
+
+    def update(self, message: ProtocolMessage) -> None:
+        if message.sender == self.party_id:
+            return  # our own broadcast echoed back
+        self._operation.accept_share(message.payload)
+
+    def is_ready_for_next_round(self) -> bool:
+        return False  # single-round protocol
+
+    def is_ready_to_finalize(self) -> bool:
+        return self._started and self._operation.have_quorum
+
+    def finalize(self) -> bytes:
+        if not self.is_ready_to_finalize():
+            raise ProtocolError(
+                f"instance {self.instance_id}: finalize before quorum "
+                f"({self._operation.share_count}/{self._operation.threshold + 1})"
+            )
+        self.mark_finalized()
+        return self._operation.combine()

@@ -1,0 +1,203 @@
+"""Scheme adapters: the bridge between the protocols and schemes modules.
+
+A :class:`ShareOperation` gives the generic one-round protocol a uniform
+view of "make my partial result / verify and store a peer's partial result /
+combine", hiding whether the underlying operation is a decryption, a
+signature, or a coin toss.  Adding a scheme to the suite means adding an
+adapter here — the protocol module "will automatically support the new
+scheme" (§3.5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ...errors import ConfigurationError, DuplicateShareError
+from ...schemes import bls04, bz03, cks05, sg02, sh00
+from ...schemes.base import (
+    ThresholdCipher,
+    ThresholdCoin,
+    ThresholdSignature,
+    get_scheme,
+)
+
+
+@dataclass(frozen=True)
+class OperationRequest:
+    """What the application asked for, scheme-agnostically.
+
+    ``kind`` is one of ``decrypt``, ``sign``, ``coin``; ``data`` is the
+    ciphertext / message / coin name respectively.
+    """
+
+    kind: str
+    data: bytes
+    label: bytes = b""
+
+
+class ShareOperation(ABC):
+    """One threshold operation in progress at one party."""
+
+    def __init__(self, threshold: int, party_id: int):
+        self.threshold = threshold
+        self.party_id = party_id
+        self._shares: dict[int, object] = {}
+
+    @abstractmethod
+    def create_own_share(self) -> bytes:
+        """Compute this party's partial result, store it, and serialize it."""
+
+    @abstractmethod
+    def _deserialize_and_verify(self, payload: bytes) -> object:
+        """Decode a peer's share and verify it (raising CryptoError if bad)."""
+
+    @abstractmethod
+    def combine(self) -> bytes:
+        """Assemble the stored shares into the final serialized result."""
+
+    def accept_share(self, payload: bytes) -> None:
+        """Verify and store a peer's partial result."""
+        share = self._deserialize_and_verify(payload)
+        if share.id in self._shares:
+            raise DuplicateShareError(f"duplicate share from party {share.id}")
+        self._shares[share.id] = share
+
+    def _store_own(self, share: object) -> None:
+        self._shares[share.id] = share
+
+    @property
+    def share_count(self) -> int:
+        return len(self._shares)
+
+    @property
+    def have_quorum(self) -> bool:
+        return self.share_count >= self.threshold + 1
+
+
+class DecryptOperation(ShareOperation):
+    """Threshold decryption for SG02 and BZ03."""
+
+    def __init__(
+        self,
+        scheme: ThresholdCipher,
+        public_key,
+        key_share,
+        ciphertext,
+    ):
+        super().__init__(public_key.threshold, key_share.id)
+        self._scheme = scheme
+        self._public_key = public_key
+        self._key_share = key_share
+        self._ciphertext = ciphertext
+
+    def create_own_share(self) -> bytes:
+        share = self._scheme.create_decryption_share(self._key_share, self._ciphertext)
+        self._store_own(share)
+        return share.to_bytes()
+
+    def _deserialize_and_verify(self, payload: bytes):
+        if isinstance(self._scheme, sg02.Sg02Cipher):
+            share = sg02.Sg02DecryptionShare.from_bytes(
+                payload, self._public_key.group
+            )
+        else:
+            share = bz03.Bz03DecryptionShare.from_bytes(payload)
+        self._scheme.verify_decryption_share(self._public_key, self._ciphertext, share)
+        return share
+
+    def combine(self) -> bytes:
+        return self._scheme.combine(
+            self._public_key, self._ciphertext, list(self._shares.values())
+        )
+
+
+class SignOperation(ShareOperation):
+    """Non-interactive threshold signing for SH00 and BLS04."""
+
+    def __init__(
+        self,
+        scheme: ThresholdSignature,
+        public_key,
+        key_share,
+        message: bytes,
+    ):
+        super().__init__(public_key.threshold, key_share.id)
+        self._scheme = scheme
+        self._public_key = public_key
+        self._key_share = key_share
+        self._message = message
+
+    def create_own_share(self) -> bytes:
+        share = self._scheme.partial_sign(self._key_share, self._message)
+        self._store_own(share)
+        return share.to_bytes()
+
+    def _deserialize_and_verify(self, payload: bytes):
+        if isinstance(self._scheme, sh00.Sh00SignatureScheme):
+            share = sh00.Sh00SignatureShare.from_bytes(payload)
+        else:
+            share = bls04.Bls04SignatureShare.from_bytes(payload)
+        self._scheme.verify_signature_share(self._public_key, self._message, share)
+        return share
+
+    def combine(self) -> bytes:
+        signature = self._scheme.combine(
+            self._public_key, self._message, list(self._shares.values())
+        )
+        return signature.to_bytes()
+
+
+class CoinOperation(ShareOperation):
+    """Threshold randomness for CKS05."""
+
+    def __init__(self, scheme: ThresholdCoin, public_key, key_share, name: bytes):
+        super().__init__(public_key.threshold, key_share.id)
+        self._scheme = scheme
+        self._public_key = public_key
+        self._key_share = key_share
+        self._name = name
+
+    def create_own_share(self) -> bytes:
+        share = self._scheme.create_coin_share(self._key_share, self._name)
+        self._store_own(share)
+        return share.to_bytes()
+
+    def _deserialize_and_verify(self, payload: bytes):
+        share = cks05.Cks05CoinShare.from_bytes(payload, self._public_key.group)
+        self._scheme.verify_coin_share(self._public_key, self._name, share)
+        return share
+
+    def combine(self) -> bytes:
+        return self._scheme.combine(
+            self._public_key, self._name, list(self._shares.values())
+        )
+
+
+def make_operation(
+    scheme_name: str,
+    public_key,
+    key_share,
+    request: OperationRequest,
+) -> ShareOperation:
+    """Instantiate the right adapter for (scheme, request kind)."""
+    scheme = get_scheme(scheme_name)
+    if request.kind == "decrypt":
+        if not isinstance(scheme, ThresholdCipher):
+            raise ConfigurationError(f"{scheme_name} cannot decrypt")
+        if isinstance(scheme, sg02.Sg02Cipher):
+            ciphertext = sg02.Sg02Ciphertext.from_bytes(
+                request.data, public_key.group
+            )
+        else:
+            ciphertext = bz03.Bz03Ciphertext.from_bytes(request.data)
+        return DecryptOperation(scheme, public_key, key_share, ciphertext)
+    if request.kind == "sign":
+        if not isinstance(scheme, ThresholdSignature):
+            raise ConfigurationError(f"{scheme_name} cannot sign")
+        return SignOperation(scheme, public_key, key_share, request.data)
+    if request.kind == "coin":
+        if not isinstance(scheme, ThresholdCoin):
+            raise ConfigurationError(f"{scheme_name} cannot toss coins")
+        return CoinOperation(scheme, public_key, key_share, request.data)
+    raise ConfigurationError(f"unknown operation kind {request.kind!r}")

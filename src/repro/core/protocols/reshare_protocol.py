@@ -1,0 +1,146 @@
+"""Proactive share refresh as a TRI protocol.
+
+Runs :mod:`repro.schemes.resharing` over the network layer: the first t+1
+nodes act as dealers, re-sharing their Lagrange-weighted key shares with
+Feldman commitments; sub-shares travel in directed P2P messages.  When all
+deals arrived, every node holds a brand-new share of the *same* secret —
+the group public key is untouched, old shares become useless.
+
+One round, directed messages, same shape as :class:`DkgProtocol`.
+"""
+
+from __future__ import annotations
+
+from ...errors import ProtocolError
+from ...groups.base import Group
+from ...schemes.resharing import (
+    ReshareDeal,
+    ReshareResult,
+    reshare_deal,
+    reshare_finalize,
+)
+from ...serialization import Reader, encode_bytes, encode_int
+from ...sharing.feldman import FeldmanCommitment
+from ...sharing.shamir import ShamirShare
+from ..messages import Channel, ProtocolMessage
+from ..tri import ThresholdRoundProtocol
+
+
+def _encode_deal_for(deal: ReshareDeal, recipient: int) -> bytes:
+    body = encode_int(deal.dealer_id)
+    body += encode_int(len(deal.commitment.commitments))
+    for commitment in deal.commitment.commitments:
+        body += encode_bytes(commitment.to_bytes())
+    share = deal.sub_shares[recipient]
+    body += encode_int(share.id) + encode_int(share.value)
+    return body
+
+
+def _decode_deal(
+    data: bytes, group: Group, recipient: int
+) -> ReshareDeal:
+    reader = Reader(data)
+    dealer_id = reader.read_int()
+    count = reader.read_int()
+    commitments = tuple(
+        group.element_from_bytes(reader.read_bytes()) for _ in range(count)
+    )
+    share = ShamirShare(reader.read_int(), reader.read_int())
+    reader.finish()
+    if share.id != recipient:
+        raise ProtocolError("reshare sub-share addressed to another party")
+    return ReshareDeal(dealer_id, FeldmanCommitment(commitments), {recipient: share})
+
+
+class ReshareProtocol(ThresholdRoundProtocol):
+    """One node's view of a proactive refresh of an installed key."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        party_id: int,
+        threshold: int,
+        parties: int,
+        group: Group,
+        current_share_value: int,
+        channel: Channel = Channel.P2P,
+    ):
+        super().__init__(instance_id, party_id)
+        self._threshold = threshold
+        self._parties = parties
+        self._group = group
+        self._share_value = current_share_value
+        self._channel = channel
+        # Deterministic dealer quorum: the first t+1 party ids.
+        self._dealers = tuple(range(1, threshold + 2))
+        self._deals: dict[int, ReshareDeal] = {}
+        self._result: ReshareResult | None = None
+        self._started = False
+
+    @property
+    def is_dealer(self) -> bool:
+        return self.party_id in self._dealers
+
+    def do_round(self) -> list[ProtocolMessage]:
+        if self._started:
+            raise ProtocolError("reshare deals once")
+        self._started = True
+        if not self.is_dealer:
+            return []
+        deal = reshare_deal(
+            self.party_id,
+            self._share_value,
+            self._dealers,
+            self._threshold,
+            self._parties,
+            self._group,
+        )
+        self._deals[self.party_id] = deal
+        messages = []
+        for recipient in range(1, self._parties + 1):
+            if recipient == self.party_id:
+                continue
+            messages.append(
+                ProtocolMessage(
+                    self.instance_id,
+                    self.party_id,
+                    round=0,
+                    channel=self._channel,
+                    payload=_encode_deal_for(deal, recipient),
+                    recipient=recipient,
+                )
+            )
+        return messages
+
+    def update(self, message: ProtocolMessage) -> None:
+        if message.sender == self.party_id:
+            return
+        deal = _decode_deal(message.payload, self._group, self.party_id)
+        if deal.dealer_id != message.sender:
+            raise ProtocolError(
+                f"deal claims dealer {deal.dealer_id}, sender is {message.sender}"
+            )
+        if deal.dealer_id not in self._dealers:
+            raise ProtocolError(f"party {deal.dealer_id} is not a refresh dealer")
+        self._deals[deal.dealer_id] = deal
+
+    def is_ready_for_next_round(self) -> bool:
+        return False
+
+    def is_ready_to_finalize(self) -> bool:
+        return self._started and set(self._deals) >= set(self._dealers)
+
+    def finalize(self) -> bytes:
+        if not self.is_ready_to_finalize():
+            raise ProtocolError("refresh finalize before all deals arrived")
+        self._result = reshare_finalize(
+            self.party_id, self._deals, self._dealers, self._parties, self._group
+        )
+        self.mark_finalized()
+        return self._result.group_key.to_bytes()
+
+    @property
+    def result(self) -> ReshareResult:
+        if self._result is None:
+            raise ProtocolError("refresh not finalized yet")
+        return self._result

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro (Thetacrypt reproduction) library.
+
+Every error raised by the library derives from :class:`ThetacryptError` so
+applications can install a single catch-all handler around service calls.
+"""
+
+from __future__ import annotations
+
+
+class ThetacryptError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ThetacryptError):
+    """A node, deployment, or scheme was configured inconsistently."""
+
+
+class SerializationError(ThetacryptError):
+    """Raised when encoding or decoding a wire object fails."""
+
+
+class CryptoError(ThetacryptError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidShareError(CryptoError):
+    """A partial result (decryption/signature/coin share) failed verification."""
+
+
+class InvalidCiphertextError(CryptoError):
+    """A ciphertext failed its validity check (CCA protection)."""
+
+
+class InvalidSignatureError(CryptoError):
+    """An assembled or partial signature failed verification."""
+
+
+class InvalidProofError(InvalidShareError):
+    """A zero-knowledge proof failed verification.
+
+    Subclasses :class:`InvalidShareError` because every proof in this
+    library authenticates a partial result (a decryption, signature, or coin
+    share) — callers rejecting bad shares catch both uniformly.
+    """
+
+
+class ThresholdNotReachedError(CryptoError):
+    """Fewer valid shares were supplied than the threshold requires."""
+
+
+class DuplicateShareError(CryptoError):
+    """Two shares with the same participant id were supplied to a combiner."""
+
+
+class KeyManagementError(ThetacryptError):
+    """A key id was unknown, duplicated, or incompatible with the request."""
+
+
+class ProtocolError(ThetacryptError):
+    """A threshold protocol instance violated the TRI state machine."""
+
+
+class ProtocolAbortedError(ProtocolError):
+    """A protocol instance aborted (e.g. FROST misbehaviour, DKG complaint)."""
+
+
+class NetworkError(ThetacryptError):
+    """A network layer component failed to deliver or receive a message."""
+
+
+class RpcError(ThetacryptError):
+    """The service layer rejected or failed an RPC call."""
+
+
+class SimulationError(ThetacryptError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,104 @@
+"""Abstract group interface shared by all curve backends.
+
+The schemes module is written against this interface only, mirroring how the
+original Thetacrypt parametrizes schemes "just with the scheme type and the
+arithmetic group needed for it" (§3.5).  A *group* here is a cyclic group of
+prime order ``q`` with a fixed generator; elements are immutable value
+objects supporting the usual multiplicative notation.
+"""
+
+from __future__ import annotations
+
+import secrets
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..errors import SerializationError
+
+
+class GroupElement(ABC):
+    """Immutable element of a prime-order group (multiplicative notation)."""
+
+    group: "Group"
+
+    @abstractmethod
+    def __mul__(self, other: "GroupElement") -> "GroupElement":
+        """Group operation."""
+
+    @abstractmethod
+    def __pow__(self, scalar: int) -> "GroupElement":
+        """Scalar exponentiation; negative scalars are reduced mod the order."""
+
+    @abstractmethod
+    def inverse(self) -> "GroupElement":
+        """Group inverse."""
+
+    @abstractmethod
+    def __eq__(self, other: object) -> bool: ...
+
+    @abstractmethod
+    def __hash__(self) -> int: ...
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Canonical fixed-length encoding (hashable into Fiat-Shamir)."""
+
+    def __truediv__(self, other: "GroupElement") -> "GroupElement":
+        return self * other.inverse()
+
+    def is_identity(self) -> bool:
+        return self == self.group.identity()
+
+
+class Group(ABC):
+    """A named cyclic group of prime order with a canonical generator."""
+
+    #: Registry name, e.g. ``"ed25519"`` or ``"bn254g1"``.
+    name: str
+    #: Prime order of the group.
+    order: int
+    #: Nominal key length in bits (reported in Table 3 of the paper).
+    key_bits: int
+
+    @abstractmethod
+    def generator(self) -> GroupElement: ...
+
+    @abstractmethod
+    def identity(self) -> GroupElement: ...
+
+    @abstractmethod
+    def element_from_bytes(self, data: bytes) -> GroupElement:
+        """Decode a canonical encoding; raise SerializationError if invalid."""
+
+    @abstractmethod
+    def hash_to_element(self, data: bytes) -> GroupElement:
+        """Deterministically map bytes to a group element (random-oracle style)."""
+
+    def random_scalar(self) -> int:
+        """Uniform nonzero scalar in Z_q (exponent space)."""
+        while True:
+            value = secrets.randbelow(self.order)
+            if value:
+                return value
+
+    def scalar_from_bytes(self, data: bytes) -> int:
+        """Reduce a byte string into Z_q (used for Fiat-Shamir challenges)."""
+        return int.from_bytes(data, "big") % self.order
+
+    def element_size(self) -> int:
+        """Length in bytes of the canonical element encoding."""
+        return len(self.generator().to_bytes())
+
+    def multi_exp(
+        self, bases: Sequence[GroupElement], exponents: Sequence[int]
+    ) -> GroupElement:
+        """Compute Π bases[i]^exponents[i] (naive; subclasses may optimize)."""
+        if len(bases) != len(exponents):
+            raise SerializationError("multi_exp length mismatch")
+        acc = self.identity()
+        for base, exp in zip(bases, exponents):
+            acc = acc * (base**exp)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Group {self.name} order={self.order:#x}>"

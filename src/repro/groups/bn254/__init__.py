@@ -1,0 +1,33 @@
+"""BN254 (alt_bn128) pairing-friendly curve, built from scratch.
+
+The paper's pairing-based schemes (BLS04, BZ03) run on "EC (Bn254), 254 bit"
+(Table 3).  This subpackage provides:
+
+* :mod:`fp` — the extension-field tower Fp2 = Fp[u]/(u²+1),
+  Fp6 = Fp2[v]/(v³ − ξ) with ξ = 9 + u, Fp12 = Fp6[w]/(w² − v);
+* :mod:`g1` — E(Fp): y² = x³ + 3, prime order r, cofactor 1;
+* :mod:`g2` — the sextic D-type twist E′(Fp2): y² = x³ + 3/ξ;
+* :mod:`pairing` — the optimal ate pairing with the
+  Devegili–Scott–Dahab final exponentiation.
+"""
+
+from .fp import Fp2, Fp6, Fp12, P, R
+from .g1 import BN254G1Group, bn254_g1
+from .g2 import BN254G2Group, bn254_g2
+from .pairing import pairing, pairing_check, BilinearGroup, bn254_pairing
+
+__all__ = [
+    "Fp2",
+    "Fp6",
+    "Fp12",
+    "P",
+    "R",
+    "BN254G1Group",
+    "BN254G2Group",
+    "bn254_g1",
+    "bn254_g2",
+    "pairing",
+    "pairing_check",
+    "BilinearGroup",
+    "bn254_pairing",
+]

@@ -1,0 +1,318 @@
+"""Extension-field tower for BN254: Fp2, Fp6, Fp12.
+
+Representation: Fp2 = Fp[u]/(u² + 1); Fp6 = Fp2[v]/(v³ − ξ) with ξ = 9 + u;
+Fp12 = Fp6[w]/(w² − v).  All classes are immutable value objects with
+Karatsuba-style multiplication; Frobenius maps use constants precomputed at
+import time (γ powers of ξ), which the pairing and the final exponentiation
+rely on.
+"""
+
+from __future__ import annotations
+
+from ...errors import CryptoError
+
+#: Base-field prime of alt_bn128 (the BN254 instantiation used by Ethereum).
+P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+#: Prime group order r (both G1 and G2 subgroups have this order).
+R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+#: BN parameter x: p and r are degree-4 polynomials in x.
+BN_X = 4965661367192848881
+
+
+class Fp2:
+    """Element c0 + c1·u of Fp2 with u² = −1."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int):
+        self.c0 = c0 % P
+        self.c1 = c1 % P
+
+    @staticmethod
+    def zero() -> "Fp2":
+        return Fp2(0, 0)
+
+    @staticmethod
+    def one() -> "Fp2":
+        return Fp2(1, 0)
+
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __add__(self, other: "Fp2") -> "Fp2":
+        return Fp2(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fp2") -> "Fp2":
+        return Fp2(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fp2":
+        return Fp2(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        # Karatsuba with u² = −1.
+        t0 = self.c0 * other.c0
+        t1 = self.c1 * other.c1
+        return Fp2(t0 - t1, (self.c0 + self.c1) * (other.c0 + other.c1) - t0 - t1)
+
+    def mul_int(self, k: int) -> "Fp2":
+        return Fp2(self.c0 * k, self.c1 * k)
+
+    def square(self) -> "Fp2":
+        # (c0 + c1 u)² = (c0+c1)(c0−c1) + 2 c0 c1 u.
+        return Fp2((self.c0 + self.c1) * (self.c0 - self.c1), 2 * self.c0 * self.c1)
+
+    def conjugate(self) -> "Fp2":
+        return Fp2(self.c0, -self.c1)
+
+    def inverse(self) -> "Fp2":
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
+        if norm == 0:
+            raise CryptoError("inversion of zero in Fp2")
+        inv = pow(norm, -1, P)
+        return Fp2(self.c0 * inv, -self.c1 * inv)
+
+    def __pow__(self, exponent: int) -> "Fp2":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result, base = Fp2.one(), self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def mul_xi(self) -> "Fp2":
+        """Multiply by ξ = 9 + u (the Fp6 non-residue)."""
+        return Fp2(9 * self.c0 - self.c1, self.c0 + 9 * self.c1)
+
+    def is_square(self) -> bool:
+        """Euler criterion in Fp2 (field of order p²)."""
+        if self.is_zero():
+            return True
+        return (self ** ((P * P - 1) // 2)) == Fp2.one()
+
+    def sqrt(self) -> "Fp2":
+        """Square root via the complex method (p ≡ 3 mod 4)."""
+        if self.is_zero():
+            return Fp2.zero()
+        # For a = c0 + c1·u, |a| = sqrt(c0² + c1²) in Fp; then
+        # x = sqrt((c0 + |a|)/2), y = c1/(2x) gives (x + y·u)² = a.
+        from ...mathutils.modular import sqrt_mod_prime
+
+        if self.c1 == 0:
+            # Purely real: either √c0 exists in Fp, or √(−c0)·u works since
+            # (y·u)² = −y².
+            if pow(self.c0, (P - 1) // 2, P) == 1:
+                return Fp2(sqrt_mod_prime(self.c0, P), 0)
+            return Fp2(0, sqrt_mod_prime((-self.c0) % P, P))
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
+        alpha = sqrt_mod_prime(norm, P)
+        inv2 = pow(2, -1, P)
+        for candidate_alpha in (alpha, (-alpha) % P):
+            delta = (self.c0 + candidate_alpha) * inv2 % P
+            if pow(delta, (P - 1) // 2, P) in (0, 1):
+                x = sqrt_mod_prime(delta, P)
+                if x == 0:
+                    continue
+                y = self.c1 * pow(2 * x, -1, P) % P
+                root = Fp2(x, y)
+                if root.square() == self:
+                    return root
+        raise CryptoError("no square root exists in Fp2")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fp2):
+            return NotImplemented
+        return self.c0 == other.c0 and self.c1 == other.c1
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Fp2({self.c0:#x}, {self.c1:#x})"
+
+
+XI = Fp2(9, 1)
+
+
+class Fp6:
+    """Element c0 + c1·v + c2·v² of Fp6 with v³ = ξ."""
+
+    __slots__ = ("c0", "c1", "c2")
+
+    def __init__(self, c0: Fp2, c1: Fp2, c2: Fp2):
+        self.c0, self.c1, self.c2 = c0, c1, c2
+
+    @staticmethod
+    def zero() -> "Fp6":
+        return Fp6(Fp2.zero(), Fp2.zero(), Fp2.zero())
+
+    @staticmethod
+    def one() -> "Fp6":
+        return Fp6(Fp2.one(), Fp2.zero(), Fp2.zero())
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __add__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.c0 + other.c0, self.c1 + other.c1, self.c2 + other.c2)
+
+    def __sub__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.c0 - other.c0, self.c1 - other.c1, self.c2 - other.c2)
+
+    def __neg__(self) -> "Fp6":
+        return Fp6(-self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, other: "Fp6") -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        t0, t1, t2 = a0 * b0, a1 * b1, a2 * b2
+        c0 = ((a1 + a2) * (b1 + b2) - t1 - t2).mul_xi() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_xi()
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fp6(c0, c1, c2)
+
+    def scale(self, k: Fp2) -> "Fp6":
+        return Fp6(self.c0 * k, self.c1 * k, self.c2 * k)
+
+    def square(self) -> "Fp6":
+        return self * self
+
+    def mul_by_v(self) -> "Fp6":
+        """Multiply by v: (c0, c1, c2) ↦ (ξ·c2, c0, c1)."""
+        return Fp6(self.c2.mul_xi(), self.c0, self.c1)
+
+    def inverse(self) -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        t0 = a0.square() - (a1 * a2).mul_xi()
+        t1 = a2.square().mul_xi() - a0 * a1
+        t2 = a1.square() - a0 * a2
+        norm = a0 * t0 + (a2 * t1 + a1 * t2).mul_xi()
+        inv = norm.inverse()
+        return Fp6(t0 * inv, t1 * inv, t2 * inv)
+
+    def frobenius(self) -> "Fp6":
+        return Fp6(
+            self.c0.conjugate(),
+            self.c1.conjugate() * FROB6_C1,
+            self.c2.conjugate() * FROB6_C2,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fp6):
+            return NotImplemented
+        return self.c0 == other.c0 and self.c1 == other.c1 and self.c2 == other.c2
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1, self.c2))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Fp6({self.c0!r}, {self.c1!r}, {self.c2!r})"
+
+
+class Fp12:
+    """Element c0 + c1·w of Fp12 with w² = v."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: Fp6, c1: Fp6):
+        self.c0, self.c1 = c0, c1
+
+    @staticmethod
+    def zero() -> "Fp12":
+        return Fp12(Fp6.zero(), Fp6.zero())
+
+    @staticmethod
+    def one() -> "Fp12":
+        return Fp12(Fp6.one(), Fp6.zero())
+
+    @staticmethod
+    def from_int(value: int) -> "Fp12":
+        return Fp12(Fp6(Fp2(value, 0), Fp2.zero(), Fp2.zero()), Fp6.zero())
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero()
+
+    def is_one(self) -> bool:
+        return self == Fp12.one()
+
+    def __add__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fp12":
+        return Fp12(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fp12") -> "Fp12":
+        t0 = self.c0 * other.c0
+        t1 = self.c1 * other.c1
+        c0 = t0 + t1.mul_by_v()
+        c1 = (self.c0 + self.c1) * (other.c0 + other.c1) - t0 - t1
+        return Fp12(c0, c1)
+
+    def square(self) -> "Fp12":
+        # Complex squaring: (c0 + c1 w)² with w² = v.
+        t0 = self.c0 * self.c1
+        c0 = (self.c0 + self.c1) * (self.c0 + self.c1.mul_by_v()) - t0 - t0.mul_by_v()
+        return Fp12(c0, t0 + t0)
+
+    def conjugate(self) -> "Fp12":
+        """The p⁶-Frobenius; equals inversion on the cyclotomic subgroup."""
+        return Fp12(self.c0, -self.c1)
+
+    def inverse(self) -> "Fp12":
+        norm = self.c0.square() - self.c1.square().mul_by_v()
+        inv = norm.inverse()
+        return Fp12(self.c0 * inv, -(self.c1 * inv))
+
+    def __pow__(self, exponent: int) -> "Fp12":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result, base = Fp12.one(), self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def frobenius(self) -> "Fp12":
+        return Fp12(self.c0.frobenius(), self.c1.frobenius().scale(FROB12_C1))
+
+    def frobenius2(self) -> "Fp12":
+        return self.frobenius().frobenius()
+
+    def frobenius3(self) -> "Fp12":
+        return self.frobenius2().frobenius()
+
+    def to_bytes(self) -> bytes:
+        """Canonical 384-byte encoding (12 Fp coefficients, big-endian)."""
+        coeffs = []
+        for fp6 in (self.c0, self.c1):
+            for fp2 in (fp6.c0, fp6.c1, fp6.c2):
+                coeffs.extend((fp2.c0, fp2.c1))
+        return b"".join(c.to_bytes(32, "big") for c in coeffs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fp12):
+            return NotImplemented
+        return self.c0 == other.c0 and self.c1 == other.c1
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Fp12({self.c0!r}, {self.c1!r})"
+
+
+# Frobenius constants: γ = ξ^((p−1)/k) for the tower maps, computed once.
+FROB6_C1 = XI ** ((P - 1) // 3)
+FROB6_C2 = XI ** (2 * (P - 1) // 3)
+FROB12_C1 = XI ** ((P - 1) // 6)
+
+# Twist Frobenius constants (untwist–Frobenius–twist endomorphism on E'(Fp2)).
+TWIST_FROB_X = XI ** ((P - 1) // 3)
+TWIST_FROB_Y = XI ** ((P - 1) // 2)

@@ -1,0 +1,168 @@
+"""BN254 G2: prime-order subgroup of the sextic twist E'(Fp2): y² = x³ + 3/ξ."""
+
+from __future__ import annotations
+
+import hashlib
+
+from ...errors import SerializationError
+from ..base import Group, GroupElement
+from .fp import Fp2, P, R, XI
+
+#: Twist curve constant b' = 3/ξ.
+B2 = Fp2(3, 0) * XI.inverse()
+
+#: Cofactor of the twist: #E'(Fp2) = (2p − r)·r.
+G2_COFACTOR = 2 * P - R
+
+# Canonical generator (the one used by Ethereum's alt_bn128 precompiles).
+_GEN_X = Fp2(
+    10857046999023057135944570762232829481370756359578518086990519993285655852781,
+    11559732032986387107991004021392285783925812861821192530917403151452391805634,
+)
+_GEN_Y = Fp2(
+    8495653923123431417604973247489272438418190587263600148770280649306958101930,
+    4082367875863433681332203403145435568316851327593401208105741076214120093531,
+)
+
+
+class BN254G2Element(GroupElement):
+    """Affine point on the twist, or the point at infinity."""
+
+    __slots__ = ("x", "y", "infinity", "group")
+
+    def __init__(
+        self, group: "BN254G2Group", x: Fp2, y: Fp2, infinity: bool = False
+    ):
+        self.group = group
+        self.x, self.y = x, y
+        self.infinity = infinity
+
+    def _double(self) -> "BN254G2Element":
+        if self.infinity or self.y.is_zero():
+            return self.group.identity()
+        slope = self.x.square().mul_int(3) * (self.y + self.y).inverse()
+        x3 = slope.square() - self.x - self.x
+        y3 = slope * (self.x - x3) - self.y
+        return BN254G2Element(self.group, x3, y3)
+
+    def __mul__(self, other: GroupElement) -> "BN254G2Element":
+        if not isinstance(other, BN254G2Element):
+            return NotImplemented
+        if self.infinity:
+            return other
+        if other.infinity:
+            return self
+        if self.x == other.x:
+            if self.y == other.y:
+                return self._double()
+            return self.group.identity()
+        slope = (other.y - self.y) * (other.x - self.x).inverse()
+        x3 = slope.square() - self.x - other.x
+        y3 = slope * (self.x - x3) - self.y
+        return BN254G2Element(self.group, x3, y3)
+
+    def _mul_raw(self, scalar: int) -> "BN254G2Element":
+        result = self.group.identity()
+        if scalar == 0:
+            return result
+        for bit in bin(scalar)[2:]:
+            result = result._double()
+            if bit == "1":
+                result = result * self
+        return result
+
+    def __pow__(self, scalar: int) -> "BN254G2Element":
+        return self._mul_raw(scalar % R)
+
+    def inverse(self) -> "BN254G2Element":
+        if self.infinity:
+            return self
+        return BN254G2Element(self.group, self.x, -self.y)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BN254G2Element):
+            return NotImplemented
+        if self.infinity or other.infinity:
+            return self.infinity == other.infinity
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        if self.infinity:
+            return bytes(128)
+        return b"".join(
+            c.to_bytes(32, "big")
+            for c in (self.x.c0, self.x.c1, self.y.c0, self.y.c1)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BN254G2 {self.to_bytes().hex()[:16]}…>"
+
+
+def _on_twist(x: Fp2, y: Fp2) -> bool:
+    return y.square() == x.square() * x + B2
+
+
+class BN254G2Group(Group):
+    """The order-r subgroup of the sextic twist."""
+
+    name = "bn254g2"
+    order = R
+    key_bits = 254
+
+    def __init__(self) -> None:
+        self._identity = BN254G2Element(self, Fp2.zero(), Fp2.zero(), infinity=True)
+        self._generator = BN254G2Element(self, _GEN_X, _GEN_Y)
+
+    def generator(self) -> BN254G2Element:
+        return self._generator
+
+    def identity(self) -> BN254G2Element:
+        return self._identity
+
+    def element_from_bytes(self, data: bytes) -> BN254G2Element:
+        if len(data) != 128:
+            raise SerializationError("bn254 G2 element must be 128 bytes")
+        if data == bytes(128):
+            return self.identity()
+        coords = [int.from_bytes(data[i : i + 32], "big") for i in range(0, 128, 32)]
+        if any(c >= P for c in coords):
+            raise SerializationError("bn254 G2 coordinate out of range")
+        x = Fp2(coords[0], coords[1])
+        y = Fp2(coords[2], coords[3])
+        if not _on_twist(x, y):
+            raise SerializationError("bn254 G2 point not on twist")
+        point = BN254G2Element(self, x, y)
+        if not point._mul_raw(R).infinity:
+            raise SerializationError("bn254 G2 point not in prime-order subgroup")
+        return point
+
+    def hash_to_element(self, data: bytes) -> BN254G2Element:
+        """Try-and-increment x in Fp2, then clear the (2p − r) cofactor."""
+        counter = 0
+        while True:
+            digest = hashlib.sha512(
+                b"repro-bn254g2-h2c" + counter.to_bytes(4, "big") + data
+            ).digest()
+            counter += 1
+            x = Fp2(
+                int.from_bytes(digest[:32], "big"),
+                int.from_bytes(digest[32:], "big"),
+            )
+            y2 = x.square() * x + B2
+            if not y2.is_square():
+                continue
+            point = BN254G2Element(self, x, y2.sqrt())
+            cleared = point._mul_raw(G2_COFACTOR)
+            if not cleared.infinity:
+                return cleared
+
+
+_GROUP = BN254G2Group()
+
+
+def bn254_g2() -> BN254G2Group:
+    """Return the shared BN254 G2 group instance."""
+    return _GROUP

@@ -1,0 +1,182 @@
+"""Prime-order subgroup of edwards25519 (the curve behind Ed25519).
+
+Implements the twisted Edwards curve ``-x² + y² = 1 + d·x²·y²`` over
+``GF(2²⁵⁵ - 19)`` with extended homogeneous coordinates, RFC 8032 point
+encoding, and a try-and-increment hash-to-curve that clears the cofactor.
+The exported :class:`Ed25519Group` is the prime-order subgroup of order
+``l = 2²⁵² + 27742317777372353535851937790883648493`` used by SG02, KG20
+(FROST), and CKS05 in the paper (Table 3: "EC (Ed25519), 256 bit").
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import SerializationError
+from .base import Group, GroupElement
+
+P = 2**255 - 19
+L = 2**252 + 27742317777372353535851937790883648493
+D = (-121665 * pow(121666, -1, P)) % P
+_2D = (2 * D) % P
+COFACTOR = 8
+
+# Base point from RFC 8032.
+_BASE_Y = 4 * pow(5, -1, P) % P
+_SQRT_M1 = pow(2, (P - 1) // 4, P)
+
+
+def _recover_x(y: int, sign: int) -> int | None:
+    """Recover the x coordinate with the given sign bit, or None."""
+    y2 = (y * y) % P
+    u = (y2 - 1) % P
+    v = (D * y2 + 1) % P
+    # Candidate root x = u·v³·(u·v⁷)^((p-5)/8), the p = 5 (mod 8) shortcut.
+    x = (u * pow(v, 3, P) * pow(u * pow(v, 7, P), (P - 5) // 8, P)) % P
+    vx2 = (v * x * x) % P
+    if vx2 == (P - u) % P:
+        x = (x * _SQRT_M1) % P
+        vx2 = (v * x * x) % P
+    if vx2 != u % P:
+        return None
+    if x == 0 and sign == 1:
+        return None
+    if x & 1 != sign:
+        x = P - x
+    return x
+
+
+class Ed25519Element(GroupElement):
+    """Point in extended coordinates (X : Y : Z : T) with T = XY/Z."""
+
+    __slots__ = ("x", "y", "z", "t", "group")
+
+    def __init__(self, group: "Ed25519Group", x: int, y: int, z: int, t: int):
+        self.group = group
+        self.x, self.y, self.z, self.t = x, y, z, t
+
+    def __mul__(self, other: GroupElement) -> "Ed25519Element":
+        if not isinstance(other, Ed25519Element):
+            return NotImplemented
+        # add-2008-hwcd-3 for a = -1.
+        a = ((self.y - self.x) * (other.y - other.x)) % P
+        b = ((self.y + self.x) * (other.y + other.x)) % P
+        c = (self.t * _2D * other.t) % P
+        d = (2 * self.z * other.z) % P
+        e, f, g, h = (b - a) % P, (d - c) % P, (d + c) % P, (b + a) % P
+        return Ed25519Element(self.group, (e * f) % P, (g * h) % P, (f * g) % P, (e * h) % P)
+
+    def _double(self) -> "Ed25519Element":
+        # dbl-2008-hwcd for a = -1.
+        a = (self.x * self.x) % P
+        b = (self.y * self.y) % P
+        c = (2 * self.z * self.z) % P
+        d = (-a) % P
+        e = ((self.x + self.y) ** 2 - a - b) % P
+        g = (d + b) % P
+        f = (g - c) % P
+        h = (d - b) % P
+        return Ed25519Element(self.group, (e * f) % P, (g * h) % P, (f * g) % P, (e * h) % P)
+
+    def _mul_raw(self, scalar: int) -> "Ed25519Element":
+        """Scalar multiplication without reduction mod L (cofactor math)."""
+        result = self.group.identity()
+        if scalar == 0:
+            return result
+        # Left-to-right binary ladder.
+        for bit in bin(scalar)[2:]:
+            result = result._double()
+            if bit == "1":
+                result = result * self
+        return result
+
+    def __pow__(self, scalar: int) -> "Ed25519Element":
+        return self._mul_raw(scalar % L)
+
+    def inverse(self) -> "Ed25519Element":
+        return Ed25519Element(self.group, (-self.x) % P, self.y, self.z, (-self.t) % P)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ed25519Element):
+            return NotImplemented
+        return (
+            (self.x * other.z - other.x * self.z) % P == 0
+            and (self.y * other.z - other.y * self.z) % P == 0
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        z_inv = pow(self.z, -1, P)
+        x = (self.x * z_inv) % P
+        y = (self.y * z_inv) % P
+        encoded = y | ((x & 1) << 255)
+        return encoded.to_bytes(32, "little")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Ed25519 {self.to_bytes().hex()[:16]}…>"
+
+
+class Ed25519Group(Group):
+    """The prime-order subgroup of edwards25519."""
+
+    name = "ed25519"
+    order = L
+    key_bits = 256
+
+    def __init__(self) -> None:
+        base_x = _recover_x(_BASE_Y, 0)
+        assert base_x is not None
+        self._generator = Ed25519Element(
+            self, base_x, _BASE_Y, 1, (base_x * _BASE_Y) % P
+        )
+        self._identity = Ed25519Element(self, 0, 1, 1, 0)
+
+    def generator(self) -> Ed25519Element:
+        return self._generator
+
+    def identity(self) -> Ed25519Element:
+        return self._identity
+
+    def element_from_bytes(self, data: bytes) -> Ed25519Element:
+        if len(data) != 32:
+            raise SerializationError("ed25519 element must be 32 bytes")
+        encoded = int.from_bytes(data, "little")
+        sign = encoded >> 255
+        y = encoded & ((1 << 255) - 1)
+        if y >= P:
+            raise SerializationError("ed25519 y coordinate out of range")
+        x = _recover_x(y, sign)
+        if x is None:
+            raise SerializationError("ed25519 encoding is not on the curve")
+        point = Ed25519Element(self, x, y, 1, (x * y) % P)
+        if not point._mul_raw(L).is_identity():
+            raise SerializationError("ed25519 point not in prime-order subgroup")
+        return point
+
+    def hash_to_element(self, data: bytes) -> Ed25519Element:
+        """Try-and-increment onto the curve, then clear the cofactor."""
+        counter = 0
+        while True:
+            digest = hashlib.sha512(
+                b"repro-ed25519-h2c" + counter.to_bytes(4, "big") + data
+            ).digest()
+            y = int.from_bytes(digest[:32], "little") % P
+            sign = digest[32] & 1
+            x = _recover_x(y, sign)
+            counter += 1
+            if x is None:
+                continue
+            point = Ed25519Element(self, x, y, 1, (x * y) % P)
+            cleared = point._mul_raw(COFACTOR)
+            if not cleared.is_identity():
+                return cleared
+
+
+_GROUP = Ed25519Group()
+
+
+def ed25519() -> Ed25519Group:
+    """Return the shared Ed25519 group instance."""
+    return _GROUP

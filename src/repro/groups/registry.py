@@ -1,0 +1,45 @@
+"""Name-based group lookup used by key managers and RPC request decoding."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ConfigurationError
+from .base import Group
+
+_FACTORIES: Dict[str, Callable[[], Group]] = {}
+
+
+def register_group(name: str, factory: Callable[[], Group]) -> None:
+    """Register a group factory under ``name`` (idempotent)."""
+    _FACTORIES[name] = factory
+
+
+def _builtin_factories() -> Dict[str, Callable[[], Group]]:
+    # Imported lazily so that loading one curve backend does not pay for the
+    # other (BN254's tower construction does noticeable work at import time).
+    from . import bn254, ed25519, secp256k1
+
+    return {
+        "ed25519": ed25519.ed25519,
+        "bn254g1": bn254.bn254_g1,
+        "bn254g2": bn254.bn254_g2,
+        "secp256k1": secp256k1.secp256k1,
+    }
+
+
+def get_group(name: str) -> Group:
+    """Return the shared instance of the group registered under ``name``."""
+    if name not in _FACTORIES:
+        builtin = _builtin_factories()
+        if name not in builtin:
+            raise ConfigurationError(
+                f"unknown group {name!r}; known: {sorted(set(_FACTORIES) | set(builtin))}"
+            )
+        _FACTORIES.update(builtin)
+    return _FACTORIES[name]()
+
+
+def list_groups() -> list[str]:
+    """Names of all known groups."""
+    return sorted(set(_FACTORIES) | set(_builtin_factories()))

@@ -1,0 +1,33 @@
+"""Number-theoretic building blocks shared by every cryptographic substrate."""
+
+from .modular import (
+    crt_pair,
+    inverse_mod,
+    jacobi_symbol,
+    sqrt_mod_prime,
+)
+from .primes import (
+    is_probable_prime,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+)
+from .lagrange import (
+    lagrange_coefficient,
+    lagrange_coefficients_at_zero,
+    integer_lagrange_numerator_denominator,
+)
+
+__all__ = [
+    "crt_pair",
+    "inverse_mod",
+    "jacobi_symbol",
+    "sqrt_mod_prime",
+    "is_probable_prime",
+    "next_prime",
+    "random_prime",
+    "random_safe_prime",
+    "lagrange_coefficient",
+    "lagrange_coefficients_at_zero",
+    "integer_lagrange_numerator_denominator",
+]

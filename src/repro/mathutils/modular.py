@@ -1,0 +1,83 @@
+"""Modular arithmetic primitives: inverses, CRT, Jacobi, square roots."""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+
+
+def inverse_mod(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises :class:`CryptoError` when no inverse exists (gcd != 1), which in a
+    threshold-RSA context usually signals a catastrophically lucky factoring
+    event and must not pass silently.
+    """
+    if modulus <= 0:
+        raise CryptoError("modulus must be positive")
+    try:
+        return pow(value, -1, modulus)
+    except ValueError as exc:
+        raise CryptoError(f"{value} is not invertible modulo {modulus}") from exc
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Combine ``x = r1 mod m1`` and ``x = r2 mod m2`` for coprime moduli."""
+    m1_inv = inverse_mod(m1, m2)
+    diff = (r2 - r1) % m2
+    return (r1 + m1 * ((diff * m1_inv) % m2)) % (m1 * m2)
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """Compute the Jacobi symbol (a/n) for odd ``n`` > 0."""
+    if n <= 0 or n % 2 == 0:
+        raise CryptoError("Jacobi symbol requires odd positive n")
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def sqrt_mod_prime(a: int, p: int) -> int:
+    """Return a square root of ``a`` modulo prime ``p`` (Tonelli–Shanks).
+
+    Raises :class:`CryptoError` when ``a`` is a non-residue.  Used by the
+    hash-to-curve routines that need y from a curve equation.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if p == 2:
+        return a
+    if pow(a, (p - 1) // 2, p) != 1:
+        raise CryptoError("no square root exists")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli–Shanks for p == 1 (mod 4).
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while pow(z, (p - 1) // 2, p) != p - 1:
+        z += 1
+    m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+    while t != 1:
+        t2 = t
+        i = 0
+        while t2 != 1:
+            t2 = (t2 * t2) % p
+            i += 1
+            if i == m:
+                raise CryptoError("Tonelli-Shanks failed: input not a residue")
+        b = pow(c, 1 << (m - i - 1), p)
+        m, c = i, (b * b) % p
+        t, r = (t * c) % p, (r * b) % p
+    return r

@@ -1,0 +1,98 @@
+"""Primality testing and prime generation (Miller–Rabin, safe primes).
+
+Used by the RSA substrate (SH00 threshold signatures need ``n = pq`` with
+*safe* primes ``p = 2p' + 1``) and by tests that construct small groups.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from ..errors import CryptoError
+
+# Trial-division wheel: small primes knock out most candidates cheaply before
+# the expensive Miller-Rabin rounds run.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+    233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313,
+]
+
+_MR_ROUNDS = 40
+
+
+def is_probable_prime(n: int, rounds: int = _MR_ROUNDS) -> bool:
+    """Miller–Rabin probable-prime test with ``rounds`` random bases."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise CryptoError("prime must have at least 2 bits")
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_safe_prime(bits: int) -> tuple[int, int]:
+    """Generate a safe prime ``p = 2q + 1``; returns ``(p, q)``.
+
+    Safe primes underpin Shoup's threshold RSA: the signing exponent is
+    shared over Z_{p'q'} where p', q' are the Sophie Germain halves.  Safe
+    primes are sparse, so this is slow for large ``bits``; the test suite
+    uses 256/512-bit parameters and ships pre-generated 1024/2048-bit
+    fixtures (see ``tools/gen_rsa_fixtures.py``).
+    """
+    if bits < 4:
+        raise CryptoError("safe prime must have at least 4 bits")
+    while True:
+        # Generate the Sophie Germain half first and check both; testing q
+        # with few rounds first keeps rejection cheap.
+        q = secrets.randbits(bits - 1) | (1 << (bits - 2)) | 1
+        if q % 3 != 2:
+            # p = 2q+1 would be divisible by 3 unless q == 2 (mod 3).
+            continue
+        if not is_probable_prime(q, rounds=8):
+            continue
+        p = 2 * q + 1
+        if not is_probable_prime(p, rounds=8):
+            continue
+        if is_probable_prime(q) and is_probable_prime(p):
+            return p, q

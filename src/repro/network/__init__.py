@@ -1,0 +1,28 @@
+"""Network layer: P2P and total-order broadcast behind swappable interfaces.
+
+Mirrors §3.6 of the paper: a :class:`~repro.network.manager.NetworkManager`
+"sets up the needed components based on the configuration provided at
+start-up".  Concrete components:
+
+* :mod:`local` — in-process transport with configurable latency injection
+  (the workhorse of integration tests and single-machine demos);
+* :mod:`tcp` — asyncio TCP full-mesh transport for real multi-process
+  deployments;
+* :mod:`gossip` — a flooding gossip overlay (the role libp2p plays in the
+  original);
+* :mod:`tob` — a sequencer-based total-order broadcast;
+* :mod:`proxy` — P2P/TOB proxy modules that delegate communication to a
+  host platform (e.g. a blockchain node).
+"""
+
+from .interfaces import P2PNetwork, TotalOrderBroadcast
+from .local import LocalHub, LocalP2P
+from .manager import NetworkManager
+
+__all__ = [
+    "P2PNetwork",
+    "TotalOrderBroadcast",
+    "LocalHub",
+    "LocalP2P",
+    "NetworkManager",
+]

@@ -1,0 +1,138 @@
+"""Flooding gossip overlay over any base transport.
+
+Plays the role libp2p's gossip protocol plays in the original (§3.6): every
+node keeps links to a subset of peers (ring neighbours plus random shortcut
+links, giving a connected low-diameter overlay) and floods messages with
+duplicate suppression.  Directed messages also travel by flooding but only
+their addressee hands them up, so the overlay exposes the same
+:class:`P2PNetwork` interface as a full mesh.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import random
+from collections import OrderedDict
+
+from ..serialization import Reader, encode_bytes, encode_int
+from .interfaces import MessageHandler, P2PNetwork
+
+_BROADCAST = 0
+_SEEN_CACHE = 65536
+
+
+class GossipOverlay(P2PNetwork):
+    """Gossip semantics on top of a base :class:`P2PNetwork`."""
+
+    def __init__(
+        self,
+        base: P2PNetwork,
+        fanout: int = 4,
+        seed: int | None = None,
+    ):
+        self.node_id = base.node_id
+        self._base = base
+        self._fanout = fanout
+        self._seed = seed
+        self._handler: MessageHandler | None = None
+        self._seen: OrderedDict[bytes, None] = OrderedDict()
+        self._counter = itertools.count()
+        # Computed lazily: the peer set may not be fully known at
+        # construction time (e.g. an in-process hub still being populated).
+        self._neighbor_cache: set[int] | None = None
+        base.set_handler(self._on_base_message)
+
+    @property
+    def _neighbors(self) -> set[int]:
+        if self._neighbor_cache is None:
+            all_ids = sorted([self.node_id, *self._base.peer_ids()])
+            self._neighbor_cache = _overlay_neighbors(
+                all_ids, self.node_id, self._fanout, self._seed
+            )
+        return self._neighbor_cache
+
+    @property
+    def neighbors(self) -> list[int]:
+        return sorted(self._neighbors)
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    def peer_ids(self) -> list[int]:
+        return self._base.peer_ids()
+
+    async def start(self) -> None:
+        await self._base.start()
+
+    async def stop(self) -> None:
+        await self._base.stop()
+
+    # -- sending ---------------------------------------------------------------
+
+    def _envelope(self, recipient: int, payload: bytes) -> bytes:
+        unique = (
+            encode_int(self.node_id)
+            + encode_int(next(self._counter))
+            + encode_int(recipient)
+            + encode_bytes(payload)
+        )
+        message_id = hashlib.sha256(unique).digest()[:16]
+        self._remember(message_id)
+        return encode_bytes(message_id) + unique
+
+    async def send(self, recipient: int, data: bytes) -> None:
+        await self._flood(self._envelope(recipient, data), exclude=None)
+
+    async def broadcast(self, data: bytes) -> None:
+        await self._flood(self._envelope(_BROADCAST, data), exclude=None)
+
+    async def _flood(self, envelope: bytes, exclude: int | None) -> None:
+        for neighbor in self._neighbors:
+            if neighbor != exclude:
+                await self._base.send(neighbor, envelope)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def _remember(self, message_id: bytes) -> bool:
+        """Record the id; returns False if it was already known."""
+        if message_id in self._seen:
+            return False
+        self._seen[message_id] = None
+        while len(self._seen) > _SEEN_CACHE:
+            self._seen.popitem(last=False)
+        return True
+
+    async def _on_base_message(self, link_sender: int, envelope: bytes) -> None:
+        reader = Reader(envelope)
+        message_id = reader.read_bytes()
+        origin = reader.read_int()
+        reader.read_int()  # per-origin counter (already inside message_id)
+        recipient = reader.read_int()
+        payload = reader.read_bytes()
+        reader.finish()
+        if not self._remember(message_id):
+            return
+        await self._flood(envelope, exclude=link_sender)
+        is_for_us = recipient in (_BROADCAST, self.node_id)
+        if is_for_us and origin != self.node_id and self._handler is not None:
+            await self._handler(origin, payload)
+
+
+def _overlay_neighbors(
+    all_ids: list[int], node_id: int, fanout: int, seed: int | None
+) -> set[int]:
+    """Ring neighbours + deterministic random shortcuts (connected overlay)."""
+    others = [i for i in all_ids if i != node_id]
+    if len(others) <= fanout:
+        return set(others)
+    index = all_ids.index(node_id)
+    ring = {
+        all_ids[(index - 1) % len(all_ids)],
+        all_ids[(index + 1) % len(all_ids)],
+    }
+    ring.discard(node_id)
+    rng = random.Random(seed if seed is not None else 0xC0FFEE ^ node_id)
+    candidates = [i for i in others if i not in ring]
+    shortcuts = rng.sample(candidates, min(fanout - len(ring), len(candidates)))
+    return ring | set(shortcuts)

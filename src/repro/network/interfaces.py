@@ -1,0 +1,66 @@
+"""Abstract communication primitives assumed by Thetacrypt (§3.2).
+
+The model requires reliable point-to-point channels between every pair of
+nodes and, optionally, a total-order broadcast primitive.  Nothing above
+this module knows which concrete transport is in use — that is the property
+that lets Thetacrypt be embedded into a host platform via proxies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Awaitable, Callable
+
+#: Callback invoked with (sender_id, data) for every received message.
+MessageHandler = Callable[[int, bytes], Awaitable[None]]
+
+
+class P2PNetwork(ABC):
+    """Reliable pairwise channels among the n nodes."""
+
+    node_id: int
+
+    @abstractmethod
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the upcall for received messages (one handler per node)."""
+
+    @abstractmethod
+    async def send(self, recipient: int, data: bytes) -> None:
+        """Deliver ``data`` to one peer (reliable, FIFO per sender)."""
+
+    @abstractmethod
+    async def broadcast(self, data: bytes) -> None:
+        """Best-effort send to every peer (no self-delivery)."""
+
+    @abstractmethod
+    def peer_ids(self) -> list[int]:
+        """Ids of all other nodes."""
+
+    async def start(self) -> None:
+        """Bring the transport up (bind sockets, dial peers)."""
+
+    async def stop(self) -> None:
+        """Tear the transport down."""
+
+
+class TotalOrderBroadcast(ABC):
+    """Atomic broadcast: every node delivers the same message sequence.
+
+    "The latter can be implemented by distributed ledgers, for instance"
+    (abstract) — the sequencer implementation in :mod:`repro.network.tob`
+    and the proxy in :mod:`repro.network.proxy` are two such realizations.
+    """
+
+    @abstractmethod
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the in-order delivery upcall."""
+
+    @abstractmethod
+    async def submit(self, data: bytes) -> None:
+        """Submit a message for total ordering."""
+
+    async def start(self) -> None:
+        """Bring the broadcast component up."""
+
+    async def stop(self) -> None:
+        """Tear the broadcast component down."""

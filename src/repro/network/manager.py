@@ -1,0 +1,158 @@
+"""The network manager module: wires transports to the core layer.
+
+"A network manager module sets up the needed components based on the
+configuration provided at start-up" (§3.6).  The manager multiplexes one
+underlying transport into tagged channels (protocol traffic, TOB internal
+traffic), optionally inserts the gossip overlay, and exposes exactly one
+operation to the core layer: dispatch a :class:`ProtocolMessage` over the
+channel the protocol requested.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable
+
+from ..core.messages import Channel, ProtocolMessage
+from ..errors import ConfigurationError, NetworkError
+from .gossip import GossipOverlay
+from .interfaces import MessageHandler, P2PNetwork, TotalOrderBroadcast
+from .tob import SequencerTob
+
+_TAG_PROTOCOL = 0x01
+_TAG_TOB = 0x02
+
+ProtocolHandler = Callable[[ProtocolMessage], Awaitable[None]]
+
+
+class _ChannelTransport(P2PNetwork):
+    """One tagged channel of a multiplexed transport."""
+
+    def __init__(self, mux: "_Multiplexer", tag: int):
+        self._mux = mux
+        self._tag = tag
+        self.node_id = mux.base.node_id
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._mux.handlers[self._tag] = handler
+
+    def peer_ids(self) -> list[int]:
+        return self._mux.base.peer_ids()
+
+    async def send(self, recipient: int, data: bytes) -> None:
+        await self._mux.base.send(recipient, bytes([self._tag]) + data)
+
+    async def broadcast(self, data: bytes) -> None:
+        await self._mux.base.broadcast(bytes([self._tag]) + data)
+
+    async def start(self) -> None:  # lifecycle owned by the multiplexer
+        return
+
+    async def stop(self) -> None:
+        return
+
+
+class _Multiplexer:
+    """Splits one transport into tag-addressed channels."""
+
+    def __init__(self, base: P2PNetwork):
+        self.base = base
+        self.handlers: dict[int, MessageHandler] = {}
+        base.set_handler(self._dispatch)
+
+    def channel(self, tag: int) -> _ChannelTransport:
+        return _ChannelTransport(self, tag)
+
+    async def _dispatch(self, sender: int, data: bytes) -> None:
+        if not data:
+            raise NetworkError("empty frame")
+        handler = self.handlers.get(data[0])
+        if handler is not None:
+            await handler(sender, data[1:])
+
+
+class NetworkManager:
+    """Per-node facade over P2P and (optional) TOB communication."""
+
+    def __init__(
+        self,
+        transport: P2PNetwork,
+        enable_tob: bool = False,
+        sequencer_id: int = 1,
+        tob_block_interval: float = 0.0,
+        gossip_fanout: int | None = None,
+        tob: TotalOrderBroadcast | None = None,
+    ):
+        if gossip_fanout is not None:
+            transport = GossipOverlay(transport, fanout=gossip_fanout)
+        self._transport = transport
+        self.node_id = transport.node_id
+        self._mux = _Multiplexer(transport)
+        self._p2p = self._mux.channel(_TAG_PROTOCOL)
+        if tob is not None:
+            # An externally provided TOB (e.g. a proxy to a host platform).
+            self._tob: TotalOrderBroadcast | None = tob
+            self._owns_tob_transport = False
+        elif enable_tob:
+            self._tob = SequencerTob(
+                self._mux.channel(_TAG_TOB),
+                sequencer_id=sequencer_id,
+                block_interval=tob_block_interval,
+            )
+            self._owns_tob_transport = True
+        else:
+            self._tob = None
+            self._owns_tob_transport = False
+        self._handler: ProtocolHandler | None = None
+        self._p2p.set_handler(self._on_p2p)
+        if self._tob is not None:
+            self._tob.set_handler(self._on_tob)
+
+    @property
+    def has_tob(self) -> bool:
+        return self._tob is not None
+
+    def peer_ids(self) -> list[int]:
+        return self._transport.peer_ids()
+
+    def set_protocol_handler(self, handler: ProtocolHandler) -> None:
+        self._handler = handler
+
+    async def start(self) -> None:
+        await self._transport.start()
+        if self._tob is not None and not self._owns_tob_transport:
+            await self._tob.start()
+
+    async def stop(self) -> None:
+        if self._tob is not None and not self._owns_tob_transport:
+            await self._tob.stop()
+        await self._transport.stop()
+
+    # -- outgoing ------------------------------------------------------------
+
+    async def dispatch(self, message: ProtocolMessage) -> None:
+        """Send a protocol message over its requested channel."""
+        data = message.to_bytes()
+        if message.channel is Channel.TOB:
+            if self._tob is None:
+                raise ConfigurationError(
+                    "protocol requested TOB but the node has no TOB channel"
+                )
+            await self._tob.submit(data)
+        elif message.is_directed():
+            await self._p2p.send(message.recipient, data)
+        else:
+            await self._p2p.broadcast(data)
+
+    # -- incoming -----------------------------------------------------------------
+
+    async def _on_p2p(self, sender: int, data: bytes) -> None:
+        await self._deliver(ProtocolMessage.from_bytes(data))
+
+    async def _on_tob(self, sender: int, data: bytes) -> None:
+        await self._deliver(ProtocolMessage.from_bytes(data))
+
+    async def _deliver(self, message: ProtocolMessage) -> None:
+        if message.is_directed() and message.recipient != self.node_id:
+            return  # directed message flooded through an overlay
+        if self._handler is not None:
+            await self._handler(message)

@@ -1,0 +1,143 @@
+"""Asyncio TCP full-mesh transport for real multi-process deployments.
+
+Frames are length-prefixed; each outgoing connection starts with a handshake
+frame carrying the dialer's node id.  Connections are established lazily and
+re-dialed with backoff, so node start order does not matter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from ..errors import NetworkError
+from .interfaces import MessageHandler, P2PNetwork
+
+logger = logging.getLogger(__name__)
+
+_LEN_BYTES = 4
+_MAX_FRAME = 64 * 1024 * 1024
+_DIAL_RETRIES = 30
+_DIAL_BACKOFF = 0.2
+
+
+async def _write_frame(writer: asyncio.StreamWriter, data: bytes) -> None:
+    writer.write(len(data).to_bytes(_LEN_BYTES, "big") + data)
+    await writer.drain()
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes:
+    header = await reader.readexactly(_LEN_BYTES)
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise NetworkError(f"frame of {length} bytes exceeds limit")
+    return await reader.readexactly(length)
+
+
+class TcpP2P(P2PNetwork):
+    """Full-mesh TCP transport: one listener plus one dialed link per peer."""
+
+    def __init__(
+        self,
+        node_id: int,
+        listen_host: str,
+        listen_port: int,
+        peers: dict[int, tuple[str, int]],
+    ):
+        self.node_id = node_id
+        self._listen_host = listen_host
+        self._listen_port = listen_port
+        self._peers = dict(peers)
+        self._handler: MessageHandler | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._dial_locks: dict[int, asyncio.Lock] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    def peer_ids(self) -> list[int]:
+        return sorted(self._peers)
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self._listen_host, self._listen_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._writers.values():
+            writer.close()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        self._writers.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            handshake = await _read_frame(reader)
+            sender = int.from_bytes(handshake, "big")
+        except (asyncio.IncompleteReadError, NetworkError):
+            writer.close()
+            return
+        task = asyncio.get_event_loop().create_task(
+            self._read_loop(sender, reader)
+        )
+        self._reader_tasks.add(task)
+        task.add_done_callback(self._reader_tasks.discard)
+
+    async def _read_loop(self, sender: int, reader: asyncio.StreamReader) -> None:
+        while True:
+            try:
+                frame = await _read_frame(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if self._handler is not None:
+                await self._handler(sender, frame)
+
+    async def _writer_for(self, recipient: int) -> asyncio.StreamWriter:
+        writer = self._writers.get(recipient)
+        if writer is not None and not writer.is_closing():
+            return writer
+        lock = self._dial_locks.setdefault(recipient, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(recipient)
+            if writer is not None and not writer.is_closing():
+                return writer
+            host, port = self._peers[recipient]
+            last_error: Exception | None = None
+            for attempt in range(_DIAL_RETRIES):
+                try:
+                    _, writer = await asyncio.open_connection(host, port)
+                    break
+                except OSError as exc:
+                    last_error = exc
+                    await asyncio.sleep(_DIAL_BACKOFF * (attempt + 1))
+            else:
+                raise NetworkError(
+                    f"cannot reach node {recipient} at {host}:{port}: {last_error}"
+                )
+            await _write_frame(writer, self.node_id.to_bytes(4, "big"))
+            self._writers[recipient] = writer
+            return writer
+
+    async def send(self, recipient: int, data: bytes) -> None:
+        if recipient not in self._peers:
+            raise NetworkError(f"unknown peer {recipient}")
+        try:
+            writer = await self._writer_for(recipient)
+            await _write_frame(writer, data)
+        except (ConnectionError, NetworkError) as exc:
+            # Reliable channels are an assumption of the model (§3.2); a
+            # dead peer is logged, the protocol tolerates up to t of them.
+            logger.warning("send to node %d failed: %s", recipient, exc)
+            self._writers.pop(recipient, None)
+
+    async def broadcast(self, data: bytes) -> None:
+        await asyncio.gather(
+            *(self.send(peer, data) for peer in self.peer_ids())
+        )

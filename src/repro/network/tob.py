@@ -1,0 +1,123 @@
+"""Total-order broadcast: a minimal sequencer-based implementation.
+
+Thetacrypt treats the TOB channel as a black box provided by the host
+platform (a blockchain's consensus, §3.6).  For standalone deployments this
+module supplies a simple sequencer: node ``sequencer_id`` stamps submissions
+with consecutive sequence numbers and re-broadcasts them; every node buffers
+and delivers in stamp order, so all nodes observe the same message sequence.
+
+An optional ``block_interval`` batches submissions into "blocks" before
+stamping, mimicking the delivery rhythm of a ledger — useful for the
+TOB-vs-P2P ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..serialization import Reader, encode_bytes, encode_int
+from .interfaces import MessageHandler, P2PNetwork, TotalOrderBroadcast
+
+_SUBMIT = 0
+_ORDERED = 1
+
+
+class SequencerTob(TotalOrderBroadcast):
+    """Sequencer-stamped total order over a P2P transport."""
+
+    def __init__(
+        self,
+        transport: P2PNetwork,
+        sequencer_id: int = 1,
+        block_interval: float = 0.0,
+    ):
+        self._transport = transport
+        self._sequencer_id = sequencer_id
+        self._block_interval = block_interval
+        self._handler: MessageHandler | None = None
+        self._next_stamp = 0  # sequencer state
+        self._next_delivery = 0
+        self._pending: dict[int, tuple[int, bytes]] = {}
+        self._block_queue: list[tuple[int, bytes]] = []
+        self._block_task: asyncio.Task | None = None
+        transport.set_handler(self._on_frame)
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self._transport.node_id == self._sequencer_id
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    async def start(self) -> None:
+        await self._transport.start()
+
+    async def stop(self) -> None:
+        if self._block_task is not None:
+            self._block_task.cancel()
+        await self._transport.stop()
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(self, data: bytes) -> None:
+        frame = encode_int(_SUBMIT) + encode_int(self._transport.node_id) + encode_bytes(data)
+        if self.is_sequencer:
+            await self._sequence(self._transport.node_id, data)
+        else:
+            await self._transport.send(self._sequencer_id, frame)
+
+    # -- sequencer side ------------------------------------------------------------
+
+    async def _sequence(self, origin: int, data: bytes) -> None:
+        if self._block_interval > 0:
+            self._block_queue.append((origin, data))
+            if self._block_task is None or self._block_task.done():
+                self._block_task = asyncio.get_event_loop().create_task(
+                    self._flush_block_later()
+                )
+            return
+        await self._stamp_and_broadcast(origin, data)
+
+    async def _flush_block_later(self) -> None:
+        await asyncio.sleep(self._block_interval)
+        queue, self._block_queue = self._block_queue, []
+        for origin, data in queue:
+            await self._stamp_and_broadcast(origin, data)
+
+    async def _stamp_and_broadcast(self, origin: int, data: bytes) -> None:
+        stamp = self._next_stamp
+        self._next_stamp += 1
+        frame = (
+            encode_int(_ORDERED)
+            + encode_int(stamp)
+            + encode_int(origin)
+            + encode_bytes(data)
+        )
+        await self._transport.broadcast(frame)
+        await self._on_ordered(stamp, origin, data)
+
+    # -- delivery ----------------------------------------------------------------
+
+    async def _on_frame(self, sender: int, frame: bytes) -> None:
+        reader = Reader(frame)
+        kind = reader.read_int()
+        if kind == _SUBMIT:
+            origin = reader.read_int()
+            data = reader.read_bytes()
+            reader.finish()
+            if self.is_sequencer:
+                await self._sequence(origin, data)
+        elif kind == _ORDERED:
+            stamp = reader.read_int()
+            origin = reader.read_int()
+            data = reader.read_bytes()
+            reader.finish()
+            await self._on_ordered(stamp, origin, data)
+
+    async def _on_ordered(self, stamp: int, origin: int, data: bytes) -> None:
+        self._pending[stamp] = (origin, data)
+        while self._next_delivery in self._pending:
+            deliver_origin, deliver_data = self._pending.pop(self._next_delivery)
+            self._next_delivery += 1
+            if self._handler is not None:
+                await self._handler(deliver_origin, deliver_data)

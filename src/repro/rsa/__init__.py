@@ -1,0 +1,5 @@
+"""RSA substrate for the SH00 threshold signature scheme."""
+
+from .keygen import RsaModulus, generate_shoup_modulus, FIXTURE_MODULI
+
+__all__ = ["RsaModulus", "generate_shoup_modulus", "FIXTURE_MODULI"]

@@ -1,0 +1,98 @@
+"""RSA modulus generation for Shoup's threshold signatures (SH00).
+
+SH00 requires ``n = p·q`` where both primes are *safe*
+(``p = 2p' + 1``, ``q = 2q' + 1`` with ``p'``, ``q'`` prime) so the group of
+squares Q_n is cyclic of order ``m = p'·q'``.  Safe-prime generation is slow
+in pure Python for 1024-bit halves, so pre-generated fixture moduli for the
+paper's sizes (512/1024/2048/4096) are shipped in :mod:`fixtures`; live
+generation is exercised in tests at small sizes.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..mathutils.primes import random_safe_prime
+
+
+@dataclass(frozen=True)
+class RsaModulus:
+    """A Shoup modulus: n = p·q with safe primes p = 2p'+1, q = 2q'+1."""
+
+    p: int
+    q: int
+
+    @property
+    def n(self) -> int:
+        return self.p * self.q
+
+    @property
+    def p_prime(self) -> int:
+        return (self.p - 1) // 2
+
+    @property
+    def q_prime(self) -> int:
+        return (self.q - 1) // 2
+
+    @property
+    def m(self) -> int:
+        """Order of the squares subgroup Q_n (secret; used for key sharing)."""
+        return self.p_prime * self.q_prime
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def random_square(self) -> int:
+        """Uniform element of Q_n (a random square modulo n)."""
+        while True:
+            candidate = secrets.randbelow(self.n - 2) + 2
+            if candidate % self.p == 0 or candidate % self.q == 0:
+                continue
+            return pow(candidate, 2, self.n)
+
+
+def generate_shoup_modulus(bits: int) -> RsaModulus:
+    """Generate a fresh Shoup modulus of roughly ``bits`` bits.
+
+    Each prime has ``bits // 2`` bits.  This is minutes-slow for
+    ``bits >= 2048`` in pure Python; prefer :data:`FIXTURE_MODULI` for the
+    paper's benchmark sizes.
+    """
+    if bits < 32:
+        raise ConfigurationError("modulus must have at least 32 bits")
+    half = bits // 2
+    while True:
+        p, _ = random_safe_prime(half)
+        q, _ = random_safe_prime(half)
+        if p != q:
+            return RsaModulus(p, q)
+
+
+def _load_fixtures() -> dict[int, RsaModulus]:
+    try:
+        from .fixtures import SAFE_PRIME_PAIRS
+    except ImportError:  # pragma: no cover - fixtures are generated in-repo
+        return {}
+    moduli = {}
+    for bits, (p, q) in SAFE_PRIME_PAIRS.items():
+        moduli[bits] = RsaModulus(p, q)
+    return moduli
+
+
+#: Pre-generated Shoup moduli keyed by modulus size in bits.
+FIXTURE_MODULI: dict[int, RsaModulus] = _load_fixtures()
+
+
+def modulus_for_bits(bits: int, allow_generate: bool = False) -> RsaModulus:
+    """Fetch a fixture modulus, optionally falling back to live generation."""
+    if bits in FIXTURE_MODULI:
+        return FIXTURE_MODULI[bits]
+    if allow_generate:
+        return generate_shoup_modulus(bits)
+    raise ConfigurationError(
+        f"no fixture modulus for {bits} bits; available: "
+        f"{sorted(FIXTURE_MODULI)} (pass allow_generate=True to generate)"
+    )

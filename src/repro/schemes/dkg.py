@@ -1,0 +1,119 @@
+"""Distributed key generation (Joint-Feldman / Pedersen DKG).
+
+The paper notes that setup "can either be done by a centralized, trusted
+dealer or through a distributed key-generation protocol [37, 27], which is
+run by the parties themselves" (§2.2).  The evaluation uses a dealer; this
+module implements the distributed alternative as an extension, and
+:mod:`repro.core.protocols.dkg_protocol` runs it as a multi-round TRI
+protocol over the network layer.
+
+This is the *cryptographic* side only: each party acts as a dealer of a
+random secret with Feldman commitments; the group key aggregates the
+qualified dealers' commitments and each party's key share is the sum of the
+sub-shares it received.  Misbehaving dealers (invalid sub-shares) are
+excluded from the qualified set; if fewer than t+1 dealers remain the run
+aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import InvalidShareError, ProtocolAbortedError
+from ..groups.base import Group, GroupElement
+from ..groups.registry import get_group
+from ..sharing.feldman import FeldmanCommitment, combine_commitments, feldman_share
+from ..sharing.shamir import ShamirShare
+
+
+@dataclass(frozen=True)
+class DkgDeal:
+    """What one party deals: commitments (public) + one sub-share per peer."""
+
+    dealer_id: int
+    commitment: FeldmanCommitment
+    sub_shares: Mapping[int, ShamirShare]  # recipient id -> share
+
+
+@dataclass(frozen=True)
+class DkgResult:
+    """One party's view after a completed DKG."""
+
+    party_id: int
+    key_share: int
+    group_key: GroupElement
+    verification_keys: tuple[GroupElement, ...]
+    qualified: tuple[int, ...]
+
+
+def deal(
+    dealer_id: int, threshold: int, parties: int, group: Group
+) -> DkgDeal:
+    """Round-1 contribution: share a fresh random secret among all parties."""
+    secret = group.random_scalar()
+    shares, commitment = feldman_share(secret, threshold, parties, group)
+    return DkgDeal(dealer_id, commitment, {s.id: s for s in shares})
+
+
+def verify_deal_share(
+    deal_: DkgDeal, recipient_id: int
+) -> ShamirShare:
+    """Check the sub-share addressed to ``recipient_id``; raise if invalid."""
+    share = deal_.sub_shares[recipient_id]
+    deal_.commitment.verify_share(share)
+    return share
+
+
+def finalize(
+    party_id: int,
+    threshold: int,
+    parties: int,
+    group: Group,
+    deals: Mapping[int, DkgDeal],
+) -> DkgResult:
+    """Aggregate qualified deals into this party's DKG output.
+
+    ``deals`` maps dealer id to the deal received from that dealer; deals
+    whose sub-share for this party fails verification are disqualified.
+    """
+    qualified: list[int] = []
+    share_sum = 0
+    commitments: list[FeldmanCommitment] = []
+    for dealer_id in sorted(deals):
+        deal_ = deals[dealer_id]
+        try:
+            sub_share = verify_deal_share(deal_, party_id)
+        except InvalidShareError:
+            continue
+        qualified.append(dealer_id)
+        share_sum = (share_sum + sub_share.value) % group.order
+        commitments.append(deal_.commitment)
+    if len(qualified) < threshold + 1:
+        raise ProtocolAbortedError(
+            f"DKG aborted: only {len(qualified)} qualified dealers, "
+            f"need {threshold + 1}"
+        )
+    combined = combine_commitments(commitments)
+    verification_keys = tuple(
+        combined.expected_share_commitment(i) for i in range(1, parties + 1)
+    )
+    return DkgResult(
+        party_id,
+        share_sum,
+        combined.public_key(),
+        verification_keys,
+        tuple(qualified),
+    )
+
+
+def dkg_all_parties(
+    threshold: int, parties: int, group_name: str = "ed25519"
+) -> list[DkgResult]:
+    """Run the whole DKG in-process (testing / examples convenience)."""
+    group = get_group(group_name)
+    deals = {i: deal(i, threshold, parties, group) for i in range(1, parties + 1)}
+    return [
+        finalize(i, threshold, parties, group, deals)
+        for i in range(1, parties + 1)
+    ]

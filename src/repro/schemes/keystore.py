@@ -1,0 +1,122 @@
+"""Key-material serialization: move dealer output between processes.
+
+The trusted dealer runs once, on one machine; each node's share must then
+travel to that node (over a secure channel — fixture files here).  Every
+scheme's key share serializes as::
+
+    scheme-name | public-key bytes | share id | share secret
+
+and a *keystore* bundles the named shares of one node as JSON.  Public keys
+alone (for clients that only encrypt/verify) use the same container without
+the secret.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from ..errors import KeyManagementError, SerializationError
+from ..serialization import Reader, encode_bytes, encode_int, encode_str, hexlify, unhexlify
+from . import bls04, bz03, cks05, kg20, sg02, sh00
+from .keygen import KeyMaterial
+
+_PUBLIC_DECODERS = {
+    "sg02": sg02.Sg02PublicKey.from_bytes,
+    "bz03": bz03.Bz03PublicKey.from_bytes,
+    "sh00": sh00.Sh00PublicKey.from_bytes,
+    "bls04": bls04.Bls04PublicKey.from_bytes,
+    "kg20": kg20.Kg20PublicKey.from_bytes,
+    "cks05": cks05.Cks05PublicKey.from_bytes,
+}
+
+_SHARE_TYPES = {
+    "sg02": sg02.Sg02KeyShare,
+    "bz03": bz03.Bz03KeyShare,
+    "sh00": sh00.Sh00KeyShare,
+    "bls04": bls04.Bls04KeyShare,
+    "kg20": kg20.Kg20KeyShare,
+    "cks05": cks05.Cks05KeyShare,
+}
+
+
+def export_key_share(scheme: str, key_share) -> bytes:
+    """Serialize one party's share (public part included, self-contained)."""
+    if scheme not in _SHARE_TYPES:
+        raise KeyManagementError(f"unknown scheme {scheme!r}")
+    return (
+        encode_str(scheme)
+        + encode_bytes(key_share.public.to_bytes())
+        + encode_int(key_share.id)
+        + encode_int(key_share.value)
+    )
+
+
+def import_key_share(data: bytes):
+    """Inverse of :func:`export_key_share`; returns (scheme, key_share)."""
+    reader = Reader(data)
+    scheme = reader.read_str()
+    if scheme not in _PUBLIC_DECODERS:
+        raise SerializationError(f"unknown scheme {scheme!r} in key share")
+    public = _PUBLIC_DECODERS[scheme](reader.read_bytes())
+    share_id = reader.read_int()
+    value = reader.read_int()
+    reader.finish()
+    share = _SHARE_TYPES[scheme](share_id, value, public)
+    return scheme, share
+
+
+def export_public_key(scheme: str, public_key) -> bytes:
+    """Serialize just the public part (for encrypt/verify-only clients)."""
+    if scheme not in _PUBLIC_DECODERS:
+        raise KeyManagementError(f"unknown scheme {scheme!r}")
+    return encode_str(scheme) + encode_bytes(public_key.to_bytes())
+
+
+def import_public_key(data: bytes):
+    """Inverse of :func:`export_public_key`; returns (scheme, public_key)."""
+    reader = Reader(data)
+    scheme = reader.read_str()
+    if scheme not in _PUBLIC_DECODERS:
+        raise SerializationError(f"unknown scheme {scheme!r} in public key")
+    public = _PUBLIC_DECODERS[scheme](reader.read_bytes())
+    reader.finish()
+    return scheme, public
+
+
+# ---------------------------------------------------------------------------
+# JSON keystore files (one per node).
+# ---------------------------------------------------------------------------
+
+
+def keystore_to_json(shares: Mapping[str, tuple[str, object]]) -> str:
+    """Encode {key_id: (scheme, key_share)} as a keystore document."""
+    entries = {
+        key_id: hexlify(export_key_share(scheme, share))
+        for key_id, (scheme, share) in shares.items()
+    }
+    return json.dumps({"version": 1, "keys": entries}, indent=2)
+
+
+def keystore_from_json(text: str) -> dict[str, tuple[str, object]]:
+    """Decode a keystore document back to {key_id: (scheme, key_share)}."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"keystore is not valid JSON: {exc}") from exc
+    if document.get("version") != 1:
+        raise SerializationError("unsupported keystore version")
+    return {
+        key_id: import_key_share(unhexlify(blob))
+        for key_id, blob in document.get("keys", {}).items()
+    }
+
+
+def node_keystore(key_material: Mapping[str, KeyMaterial], node_id: int) -> str:
+    """Build node ``node_id``'s keystore from dealer output for many keys."""
+    return keystore_to_json(
+        {
+            key_id: (material.scheme, material.share_for(node_id))
+            for key_id, material in key_material.items()
+        }
+    )

@@ -1,0 +1,132 @@
+"""Share resharing and proactive refresh (CHURP-style, simplified).
+
+The paper's related work points at CHURP [32] for "secure reconfiguration
+and resharing strategies"; this module implements the classical resharing
+protocol for the discrete-log schemes:
+
+* a quorum Q (|Q| = t+1) of current share holders each re-shares its
+  Lagrange-weighted share λ_i·x_i toward the *new* access structure
+  (t', n') with Feldman commitments;
+* each new party verifies every sub-share and sums them into its new share;
+* the combined commitments reproduce g^x in the constant term, so the
+  **group public key is preserved** while every share (and the sharing
+  polynomial) changes.
+
+With (t', n') = (t, n) this is a *proactive refresh*: old shares become
+useless to an attacker who compromised fewer than t+1 nodes per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError, InvalidShareError
+from ..groups.base import Group, GroupElement
+from ..mathutils.lagrange import lagrange_coefficients_at_zero
+from ..sharing.feldman import FeldmanCommitment, combine_commitments, feldman_share
+from ..sharing.shamir import ShamirShare, check_threshold
+
+
+@dataclass(frozen=True)
+class ReshareDeal:
+    """Dealer i's contribution: commitments + one sub-share per new party."""
+
+    dealer_id: int
+    commitment: FeldmanCommitment
+    sub_shares: Mapping[int, ShamirShare]
+
+
+@dataclass(frozen=True)
+class ReshareResult:
+    """One new party's output of a completed resharing."""
+
+    party_id: int
+    share_value: int
+    group_key: GroupElement
+    verification_keys: tuple[GroupElement, ...]
+
+
+def reshare_deal(
+    old_share_id: int,
+    old_share_value: int,
+    quorum_ids: Sequence[int],
+    new_threshold: int,
+    new_parties: int,
+    group: Group,
+) -> ReshareDeal:
+    """Old party ``old_share_id`` re-shares λ_i·x_i to the new structure."""
+    check_threshold(new_threshold, new_parties)
+    if old_share_id not in quorum_ids:
+        raise ConfigurationError("dealer must be part of the resharing quorum")
+    lam = lagrange_coefficients_at_zero(list(quorum_ids), group.order)
+    weighted = (lam[old_share_id] * old_share_value) % group.order
+    shares, commitment = feldman_share(weighted, new_threshold, new_parties, group)
+    return ReshareDeal(old_share_id, commitment, {s.id: s for s in shares})
+
+
+def reshare_finalize(
+    new_party_id: int,
+    deals: Mapping[int, ReshareDeal],
+    quorum_ids: Sequence[int],
+    new_parties: int,
+    group: Group,
+) -> ReshareResult:
+    """Verify and sum the sub-shares addressed to ``new_party_id``.
+
+    Requires a deal from *every* quorum member (the weighted shares only sum
+    to x over the full quorum); any invalid sub-share aborts with the
+    culprit identified.
+    """
+    missing = sorted(set(quorum_ids) - set(deals))
+    if missing:
+        raise ConfigurationError(f"missing reshare deals from {missing}")
+    total = 0
+    commitments = []
+    for dealer_id in sorted(quorum_ids):
+        deal = deals[dealer_id]
+        sub_share = deal.sub_shares[new_party_id]
+        try:
+            deal.commitment.verify_share(sub_share)
+        except InvalidShareError as exc:
+            raise InvalidShareError(
+                f"dealer {dealer_id} sent an invalid reshare sub-share"
+            ) from exc
+        total = (total + sub_share.value) % group.order
+        commitments.append(deal.commitment)
+    combined = combine_commitments(commitments)
+    verification_keys = tuple(
+        combined.expected_share_commitment(i) for i in range(1, new_parties + 1)
+    )
+    return ReshareResult(
+        new_party_id, total, combined.public_key(), verification_keys
+    )
+
+
+def reshare_all(
+    old_shares: Mapping[int, int],
+    quorum_ids: Sequence[int],
+    new_threshold: int,
+    new_parties: int,
+    group: Group,
+) -> list[ReshareResult]:
+    """Run a whole resharing in-process (testing / examples convenience).
+
+    ``old_shares`` maps old party id → share value; the quorum must be a
+    subset of its keys.
+    """
+    deals = {
+        dealer_id: reshare_deal(
+            dealer_id,
+            old_shares[dealer_id],
+            quorum_ids,
+            new_threshold,
+            new_parties,
+            group,
+        )
+        for dealer_id in quorum_ids
+    }
+    return [
+        reshare_finalize(party_id, deals, quorum_ids, new_parties, group)
+        for party_id in range(1, new_parties + 1)
+    ]

@@ -1,0 +1,120 @@
+"""RFC 8032 Ed25519 compatibility layer.
+
+FROST's output is a Schnorr signature; with the right challenge computation
+(SHA-512 over R‖A‖M, little-endian reduction) and the standard 64-byte
+encoding, the *threshold* signature verifies under any ordinary Ed25519
+verifier — no threshold machinery on the verifying side.  This module
+provides:
+
+* :func:`verify` — a standalone RFC 8032 verifier (the "any wallet" side);
+* :func:`sign` — single-signer reference signing (deterministic nonce), for
+  cross-checking the verifier;
+* :class:`FrostEd25519` — KG20 re-parameterized to produce RFC 8032
+  signatures (threshold t+1-of-n, byte-compatible output).
+
+The usual caveat applies twice over: deterministic single-signer Ed25519
+derives its nonce from the private key, which a threshold signer cannot do;
+FROST's random nonces are the standard answer and verify identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import InvalidSignatureError
+from ..groups.ed25519 import L, Ed25519Group, ed25519
+from . import kg20
+
+
+def _challenge(r_bytes: bytes, public_bytes: bytes, message: bytes) -> int:
+    """k = SHA-512(R ‖ A ‖ M) interpreted little-endian, reduced mod L."""
+    digest = hashlib.sha512(r_bytes + public_bytes + message).digest()
+    return int.from_bytes(digest, "little") % L
+
+
+def sign(secret_scalar: int, message: bytes) -> bytes:
+    """Reference single-signer signature (nonce from SHA-512, RFC style).
+
+    ``secret_scalar`` is the already-clamped/derived scalar a with public
+    key A = a·B (we operate at the scalar level; seed expansion is the
+    caller's concern).
+    """
+    group = ed25519()
+    public = group.generator() ** secret_scalar
+    nonce_seed = hashlib.sha512(
+        b"repro-rfc8032-nonce"
+        + secret_scalar.to_bytes(32, "little")
+        + message
+    ).digest()
+    r = int.from_bytes(nonce_seed, "little") % L
+    big_r = group.generator() ** r
+    k = _challenge(big_r.to_bytes(), public.to_bytes(), message)
+    s = (r + k * secret_scalar) % L
+    return big_r.to_bytes() + s.to_bytes(32, "little")
+
+
+def verify(public_bytes: bytes, message: bytes, signature: bytes) -> None:
+    """The plain RFC 8032 check: 8·S·B == 8·R + 8·k·A (cofactorless here).
+
+    Raises :class:`InvalidSignatureError` on failure.  This function knows
+    nothing about thresholds — it is "the wallet's verifier".
+    """
+    group = ed25519()
+    if len(signature) != 64:
+        raise InvalidSignatureError("ed25519 signature must be 64 bytes")
+    try:
+        big_r = group.element_from_bytes(signature[:32])
+        public = group.element_from_bytes(public_bytes)
+    except Exception as exc:
+        raise InvalidSignatureError(f"malformed point encoding: {exc}") from exc
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        raise InvalidSignatureError("non-canonical scalar in signature")
+    k = _challenge(signature[:32], public_bytes, message)
+    if group.generator() ** s != big_r * public**k:
+        raise InvalidSignatureError("ed25519 verification equation failed")
+
+
+@dataclass(frozen=True)
+class FrostEd25519Signature:
+    """A threshold-produced, RFC 8032-encoded signature."""
+
+    data: bytes  # R (32) || S (32, little-endian)
+
+
+class FrostEd25519(kg20.Kg20SignatureScheme):
+    """KG20 with RFC 8032 challenge and encoding.
+
+    Everything else — commitments, binding factors, share verification,
+    the wait-for-all combine — is inherited unchanged; only the challenge
+    hash and the output format differ.  The resulting key and signature are
+    indistinguishable from single-signer Ed25519 to any verifier.
+    """
+
+    def challenge(self, group: Ed25519Group, r, y, message: bytes) -> int:
+        return _challenge(r.to_bytes(), y.to_bytes(), message)
+
+    def sign_threshold(
+        self,
+        public_key: kg20.Kg20PublicKey,
+        key_shares: Sequence[kg20.Kg20KeyShare],
+        message: bytes,
+    ) -> FrostEd25519Signature:
+        """Convenience: run both FROST rounds in-process over ``key_shares``."""
+        nonces = {share.id: self.commit(share) for share in key_shares}
+        commitments = [nonce[1] for nonce in nonces.values()]
+        z_shares = [
+            self.sign_round(share, message, nonces[share.id][0], commitments)
+            for share in key_shares
+        ]
+        signature = self.combine(public_key, message, z_shares, commitments)
+        return FrostEd25519Signature(
+            signature.r.to_bytes() + (signature.z % L).to_bytes(32, "little")
+        )
+
+
+def frost_keygen(threshold: int, parties: int):
+    """Key material whose public key doubles as an RFC 8032 Ed25519 key."""
+    return kg20.keygen(threshold, parties, group_name="ed25519")

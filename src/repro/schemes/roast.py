@@ -1,0 +1,227 @@
+"""ROAST — a robust wrapper around FROST (Ruffing et al., CCS 2022).
+
+The paper points out that "FROST is not robust, i.e., actively deviating
+parties may cause the signature protocol to abort" (§3.5) and cites ROAST
+[40] as the robust alternative.  This module implements the ROAST
+coordinator logic as an extension:
+
+* the coordinator keeps a *responsive set* of signers that have an unused
+  nonce commitment on file;
+* whenever t+1 responsive signers are available it opens a fresh FROST
+  session with exactly that quorum;
+* a signer's reply carries both its signature share for the session and a
+  *new* nonce commitment (so responding keeps it responsive);
+* an invalid share exposes its sender, which is excluded forever — its
+  sessions die, but every other session proceeds independently.
+
+With at most ``n − (t+1)`` malicious signers some session eventually
+consists solely of honest responsive signers and completes; the number of
+sessions opened is bounded by ``n − t`` (each failed session burns at least
+one newly exposed malicious signer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InvalidShareError, ProtocolAbortedError
+from . import kg20
+
+
+@dataclass
+class _Session:
+    session_id: int
+    signer_ids: tuple[int, ...]
+    commitments: list[kg20.NonceCommitment]
+    shares: dict[int, kg20.Kg20SignatureShare] = field(default_factory=dict)
+    dead: bool = False
+
+
+class RoastSigner:
+    """An honest signer endpoint: holds the key share and its nonce queue."""
+
+    def __init__(self, key_share: kg20.Kg20KeyShare):
+        self._scheme = kg20.Kg20SignatureScheme()
+        self._key_share = key_share
+        self._nonces: dict[int, kg20.NoncePair] = {}  # by commitment counter
+        self._counter = 0
+        self._used: set[int] = set()
+
+    @property
+    def id(self) -> int:
+        return self._key_share.id
+
+    def fresh_commitment(self) -> kg20.NonceCommitment:
+        """Produce a new single-use nonce commitment (round-1 material)."""
+        nonce, commitment = self._scheme.commit(self._key_share)
+        self._counter += 1
+        self._nonces[self._counter] = nonce
+        # Tag-free lookup: the coordinator returns the commitment verbatim,
+        # so we key nonces by the commitment encoding.
+        self._by_commitment = getattr(self, "_by_commitment", {})
+        self._by_commitment[commitment.to_bytes()] = nonce
+        return commitment
+
+    def sign(
+        self,
+        message: bytes,
+        commitments: list[kg20.NonceCommitment],
+    ) -> tuple[kg20.Kg20SignatureShare, kg20.NonceCommitment]:
+        """Round-2 response: the signature share plus a fresh commitment."""
+        own = next(c for c in commitments if c.id == self.id)
+        nonce = self._by_commitment.pop(own.to_bytes(), None)
+        if nonce is None:
+            raise ProtocolAbortedError(
+                f"signer {self.id}: unknown or reused nonce commitment"
+            )
+        share = self._scheme.sign_round(self._key_share, message, nonce, commitments)
+        return share, self.fresh_commitment()
+
+
+class RoastCoordinator:
+    """Drives FROST sessions until one completes, excluding misbehavers."""
+
+    def __init__(self, public_key: kg20.Kg20PublicKey, message: bytes):
+        self._scheme = kg20.Kg20SignatureScheme()
+        self.public_key = public_key
+        self.message = message
+        self.quorum = public_key.threshold + 1
+        self._pending: dict[int, kg20.NonceCommitment] = {}  # responsive set
+        self._sessions: dict[int, _Session] = {}
+        self._session_of: dict[int, int] = {}  # signer -> open session
+        self._next_session = 0
+        self.excluded: set[int] = set()
+        self.signature: kg20.Kg20Signature | None = None
+        self.sessions_opened = 0
+
+    # -- inputs from signers ------------------------------------------------
+
+    def register(self, signer_id: int, commitment: kg20.NonceCommitment) -> list:
+        """A signer joins (or re-joins) the responsive set."""
+        if self.signature is not None or signer_id in self.excluded:
+            return []
+        if commitment.id != signer_id:
+            self._exclude(signer_id)
+            return []
+        self._pending[signer_id] = commitment
+        return self._maybe_open_session()
+
+    def receive_share(
+        self,
+        session_id: int,
+        signer_id: int,
+        share: kg20.Kg20SignatureShare,
+        next_commitment: kg20.NonceCommitment,
+    ) -> list:
+        """A signer's round-2 response for one session."""
+        if self.signature is not None or signer_id in self.excluded:
+            return []
+        session = self._sessions.get(session_id)
+        if session is None or session.dead or signer_id not in session.signer_ids:
+            # The session is gone (a peer was exposed), but the signer DID
+            # respond: keep it responsive by registering its new commitment,
+            # or an honest signer would silently drop out of the pool.
+            if self._session_of.get(signer_id) == session_id:
+                self._session_of.pop(signer_id, None)
+            if next_commitment is not None:
+                return self.register(signer_id, next_commitment)
+            return []
+        try:
+            self._scheme.verify_signature_share(
+                self.public_key, self.message, share, session.commitments
+            )
+        except InvalidShareError:
+            # The defining ROAST move: a bad share exposes its sender.
+            self._exclude(signer_id)
+            session.dead = True
+            return self._maybe_open_session()
+        session.shares[signer_id] = share
+        self._session_of.pop(signer_id, None)
+        requests = self.register(signer_id, next_commitment)
+        if len(session.shares) == len(session.signer_ids) and not session.dead:
+            signature = self._scheme.combine(
+                self.public_key,
+                self.message,
+                list(session.shares.values()),
+                session.commitments,
+            )
+            self.signature = signature
+            return []
+        return requests
+
+    def mark_unresponsive(self, signer_id: int) -> list:
+        """Give up on a signer that never answers (crash-style fault)."""
+        self._exclude(signer_id)
+        return self._maybe_open_session()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _exclude(self, signer_id: int) -> None:
+        self.excluded.add(signer_id)
+        self._pending.pop(signer_id, None)
+        open_session = self._session_of.pop(signer_id, None)
+        if open_session is not None:
+            self._sessions[open_session].dead = True
+
+    def _maybe_open_session(self) -> list:
+        """Open a session when a quorum of responsive signers is available.
+
+        Returns sign requests: (session_id, signer_id, commitments) tuples
+        the caller must deliver to the signers.
+        """
+        requests = []
+        while len(self._pending) >= self.quorum and self.signature is None:
+            chosen = sorted(self._pending)[: self.quorum]
+            commitments = [self._pending.pop(i) for i in chosen]
+            self._next_session += 1
+            self.sessions_opened += 1
+            session = _Session(self._next_session, tuple(chosen), commitments)
+            self._sessions[session.session_id] = session
+            for signer_id in chosen:
+                self._session_of[signer_id] = session.session_id
+                requests.append((session.session_id, signer_id, list(commitments)))
+        return requests
+
+
+def roast_sign(
+    public_key: kg20.Kg20PublicKey,
+    signers: dict[int, RoastSigner],
+    message: bytes,
+    byzantine: dict[int, "object"] | None = None,
+) -> tuple[kg20.Kg20Signature, RoastCoordinator]:
+    """Run a full ROAST signing ceremony in-process.
+
+    ``signers`` holds the honest signers; ``byzantine`` maps signer id to a
+    behaviour object with the same ``fresh_commitment``/``sign`` interface
+    (e.g. :class:`tests` fakes returning garbage).  Returns the signature
+    and the coordinator (whose ``excluded``/``sessions_opened`` fields the
+    robustness tests inspect).
+    """
+    coordinator = RoastCoordinator(public_key, message)
+    everyone: dict[int, object] = dict(signers)
+    everyone.update(byzantine or {})
+    queue = []
+    for signer_id in sorted(everyone):
+        queue.extend(
+            coordinator.register(signer_id, everyone[signer_id].fresh_commitment())
+        )
+    while queue and coordinator.signature is None:
+        session_id, signer_id, commitments = queue.pop(0)
+        signer = everyone[signer_id]
+        try:
+            share, next_commitment = signer.sign(message, commitments)
+        except ProtocolAbortedError:
+            queue.extend(coordinator.mark_unresponsive(signer_id))
+            continue
+        if share is None:  # an unresponsive byzantine signer
+            queue.extend(coordinator.mark_unresponsive(signer_id))
+            continue
+        queue.extend(
+            coordinator.receive_share(session_id, signer_id, share, next_commitment)
+        )
+    if coordinator.signature is None:
+        raise ProtocolAbortedError(
+            "ROAST could not assemble a signature "
+            f"(excluded={sorted(coordinator.excluded)})"
+        )
+    return coordinator.signature, coordinator

@@ -1,0 +1,141 @@
+"""Canonical binary encoding helpers shared across the library.
+
+Thetacrypt exchanges protocol messages between nodes and returns
+cryptographic objects over RPC.  Both need a *canonical* byte encoding:
+Fiat-Shamir challenges hash serialized transcripts, so any ambiguity in the
+encoding would be a security bug.  The helpers here implement a tiny,
+deterministic TLV-free format:
+
+* integers are encoded big-endian with an explicit 4-byte length prefix,
+* byte strings carry a 4-byte length prefix,
+* sequences concatenate the encodings of their items after a 4-byte count.
+
+The format is intentionally simple rather than self-describing; each decoder
+knows the exact shape it expects, mirroring how protobuf messages are used in
+the original Rust codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .errors import SerializationError
+
+_LEN_BYTES = 4
+_MAX_LEN = 2**32 - 1
+
+
+def encode_bytes(data: bytes) -> bytes:
+    """Encode a byte string with a 4-byte big-endian length prefix."""
+    if len(data) > _MAX_LEN:
+        raise SerializationError("byte string too long to encode")
+    return len(data).to_bytes(_LEN_BYTES, "big") + data
+
+
+def encode_int(value: int) -> bytes:
+    """Encode a non-negative integer canonically (minimal big-endian body)."""
+    if value < 0:
+        raise SerializationError("cannot encode negative integer")
+    body = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    return encode_bytes(body)
+
+
+def encode_str(value: str) -> bytes:
+    """Encode a unicode string as length-prefixed UTF-8."""
+    return encode_bytes(value.encode("utf-8"))
+
+
+def encode_seq(items: Iterable[bytes]) -> bytes:
+    """Encode a sequence of already-encoded chunks with a count prefix."""
+    chunks = list(items)
+    if len(chunks) > _MAX_LEN:
+        raise SerializationError("sequence too long to encode")
+    return len(chunks).to_bytes(_LEN_BYTES, "big") + b"".join(chunks)
+
+
+class Reader:
+    """Sequential decoder over a byte buffer.
+
+    Raises :class:`SerializationError` on truncation and requires the caller
+    to consume the buffer fully via :meth:`finish`, so trailing garbage is
+    rejected rather than silently ignored.
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise SerializationError(
+                f"truncated buffer: need {count} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_bytes(self) -> bytes:
+        length = int.from_bytes(self._take(_LEN_BYTES), "big")
+        return self._take(length)
+
+    def read_int(self) -> int:
+        body = self.read_bytes()
+        if len(body) > 1 and body[0] == 0:
+            raise SerializationError("non-minimal integer encoding")
+        return int.from_bytes(body, "big")
+
+    def read_str(self) -> str:
+        try:
+            return self.read_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError("invalid UTF-8 string") from exc
+
+    def read_count(self) -> int:
+        return int.from_bytes(self._take(_LEN_BYTES), "big")
+
+    def iter_seq(self) -> Iterator[None]:
+        """Yield once per declared sequence item; caller reads each body."""
+        count = self.read_count()
+        for _ in range(count):
+            yield None
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def finish(self) -> None:
+        if self.remaining:
+            raise SerializationError(f"{self.remaining} trailing bytes after decode")
+
+
+def int_to_fixed(value: int, size: int) -> bytes:
+    """Encode an integer into exactly ``size`` big-endian bytes."""
+    try:
+        return value.to_bytes(size, "big")
+    except OverflowError as exc:
+        raise SerializationError(f"integer does not fit in {size} bytes") from exc
+
+
+def fixed_to_int(data: bytes, size: int) -> int:
+    """Decode an integer from exactly ``size`` big-endian bytes."""
+    if len(data) != size:
+        raise SerializationError(f"expected {size} bytes, got {len(data)}")
+    return int.from_bytes(data, "big")
+
+
+def encode_fields(*fields: bytes) -> bytes:
+    """Concatenate pre-encoded fields (readability helper for encoders)."""
+    return b"".join(fields)
+
+
+def hexlify(data: bytes) -> str:
+    """Hex encoding used by the JSON RPC layer."""
+    return data.hex()
+
+
+def unhexlify(text: str) -> bytes:
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise SerializationError("invalid hex string") from exc

@@ -1,0 +1,22 @@
+"""Service layer: the node assembly and its two RPC endpoints.
+
+The paper's service layer exposes a *protocol API* (run threshold protocols
+as a black box) and a *scheme API* (direct access to primitives) over gRPC
+(§3.4).  gRPC is unavailable offline, so the transport is JSON-lines over
+TCP with identical method shapes; the layer is deliberately thin so other
+framings can be added, as the paper notes.
+"""
+
+from .config import NodeConfig, PeerConfig, make_local_configs
+from .node import ThetacryptNode
+from .client import ThetacryptClient
+from .server import RpcServer
+
+__all__ = [
+    "NodeConfig",
+    "PeerConfig",
+    "make_local_configs",
+    "ThetacryptNode",
+    "ThetacryptClient",
+    "RpcServer",
+]

@@ -1,0 +1,227 @@
+"""RPC client for applications and the benchmarking orchestrator.
+
+The paper's orchestrator "implements the gRPC client-side Thetacrypt API to
+create and schedule requests to the Θ-network" (§4.1).  Because every node
+must participate in a threshold operation, a request is fanned out to the
+whole network; the client returns as soon as the first node reports the
+assembled result, which is when the Θ-network has produced it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from ..errors import RpcError
+from ..serialization import hexlify, unhexlify
+
+
+class _Connection:
+    """One JSON-lines RPC connection with concurrent request support."""
+
+    def __init__(self, host: str, port: int, auth_token: str = ""):
+        self._host = host
+        self._port = port
+        self._auth_token = auth_token
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._listen_task: asyncio.Task | None = None
+        self._lock = asyncio.Lock()
+
+    async def _ensure(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._listen_task = asyncio.get_event_loop().create_task(self._listen())
+
+    async def _listen(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            response = json.loads(line)
+            future = self._pending.pop(response.get("id"), None)
+            if future is None or future.done():
+                continue
+            if "error" in response:
+                future.set_exception(RpcError(response["error"]))
+            else:
+                future.set_result(response["result"])
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(RpcError("connection closed"))
+        self._pending.clear()
+
+    async def call(self, method: str, params: dict) -> dict:
+        async with self._lock:
+            await self._ensure()
+            request_id = next(self._ids)
+            future: asyncio.Future = asyncio.get_event_loop().create_future()
+            self._pending[request_id] = future
+            assert self._writer is not None
+            request = {"id": request_id, "method": method, "params": params}
+            if self._auth_token:
+                request["auth"] = self._auth_token
+            self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await self._writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        if self._listen_task is not None:
+            self._listen_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+
+
+class ThetacryptClient:
+    """Client-side view of a whole Θ-network."""
+
+    def __init__(
+        self, addresses: dict[int, tuple[str, int]], auth_token: str = ""
+    ):
+        self._connections = {
+            node_id: _Connection(host, port, auth_token)
+            for node_id, (host, port) in addresses.items()
+        }
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._connections)
+
+    async def call(self, node_id: int, method: str, params: dict) -> dict:
+        """Invoke one node's RPC endpoint."""
+        if node_id not in self._connections:
+            raise RpcError(f"unknown node {node_id}")
+        return await self._connections[node_id].call(method, params)
+
+    async def broadcast(self, method: str, params: dict) -> dict[int, dict]:
+        """Invoke every node; returns per-node results (exceptions included)."""
+        results = await asyncio.gather(
+            *(self.call(node_id, method, params) for node_id in self.node_ids),
+            return_exceptions=True,
+        )
+        return dict(zip(self.node_ids, results))
+
+    async def _threshold_op(self, method: str, params: dict) -> bytes:
+        """Fan a request out and return the first assembled result."""
+        tasks = [
+            asyncio.ensure_future(self.call(node_id, method, params))
+            for node_id in self.node_ids
+        ]
+        try:
+            errors: list[Exception] = []
+            for future in asyncio.as_completed(tasks):
+                try:
+                    result = await future
+                except Exception as exc:  # noqa: BLE001 - try remaining nodes
+                    errors.append(exc)
+                    continue
+                return unhexlify(result["result"])
+            raise RpcError(f"all nodes failed: {errors}")
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- high-level convenience wrappers ------------------------------------------
+
+    async def sign(self, key_id: str, message: bytes) -> bytes:
+        return await self._threshold_op(
+            "sign", {"key_id": key_id, "data": hexlify(message)}
+        )
+
+    async def decrypt(self, key_id: str, ciphertext: bytes, label: bytes = b"") -> bytes:
+        return await self._threshold_op(
+            "decrypt",
+            {
+                "key_id": key_id,
+                "data": hexlify(ciphertext),
+                "label": hexlify(label),
+            },
+        )
+
+    async def flip_coin(self, key_id: str, name: bytes) -> bytes:
+        return await self._threshold_op(
+            "flip_coin", {"key_id": key_id, "data": hexlify(name)}
+        )
+
+    async def encrypt(
+        self, key_id: str, plaintext: bytes, label: bytes = b"", node_id: int | None = None
+    ) -> bytes:
+        """Scheme-API encryption at one node (a local, public operation)."""
+        target = node_id if node_id is not None else self.node_ids[0]
+        result = await self.call(
+            target,
+            "encrypt",
+            {
+                "key_id": key_id,
+                "data": hexlify(plaintext),
+                "label": hexlify(label),
+            },
+        )
+        return unhexlify(result["ciphertext"])
+
+    async def verify_signature(
+        self, key_id: str, message: bytes, signature: bytes, node_id: int | None = None
+    ) -> bool:
+        target = node_id if node_id is not None else self.node_ids[0]
+        result = await self.call(
+            target,
+            "verify_signature",
+            {
+                "key_id": key_id,
+                "data": hexlify(message),
+                "signature": hexlify(signature),
+            },
+        )
+        return bool(result["valid"])
+
+    async def precompute(self, key_id: str, count: int) -> dict[int, dict]:
+        return await self.broadcast(
+            "precompute", {"key_id": key_id, "count": count}
+        )
+
+    async def refresh_key(self, key_id: str) -> bytes:
+        """Proactive refresh on every node; returns the unchanged group key."""
+        results = await self.broadcast("refresh_key", {"key_id": key_id})
+        keys = set()
+        for node_id, result in results.items():
+            if isinstance(result, Exception):
+                raise RpcError(f"node {node_id} failed refresh: {result}")
+            keys.add(result["group_key"])
+        if len(keys) != 1:
+            raise RpcError(f"nodes disagree after refresh: {keys}")
+        return unhexlify(keys.pop())
+
+    async def run_dkg(
+        self, key_id: str, scheme: str = "cks05", group: str = "ed25519"
+    ) -> bytes:
+        """Run distributed key generation on every node; returns the group key.
+
+        All nodes participate; the call fails if any node reports a
+        different group key (a serious inconsistency).
+        """
+        results = await self.broadcast(
+            "run_dkg", {"key_id": key_id, "scheme": scheme, "group": group}
+        )
+        keys = set()
+        for node_id, result in results.items():
+            if isinstance(result, Exception):
+                raise RpcError(f"node {node_id} failed DKG: {result}")
+            keys.add(result["group_key"])
+        if len(keys) != 1:
+            raise RpcError(f"nodes disagree on the DKG group key: {keys}")
+        return unhexlify(keys.pop())
+
+    async def close(self) -> None:
+        await asyncio.gather(
+            *(conn.close() for conn in self._connections.values()),
+            return_exceptions=True,
+        )

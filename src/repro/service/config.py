@@ -1,0 +1,106 @@
+"""Node configuration: everything a Thetacrypt instance learns at start-up."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PeerConfig:
+    """Address book entry for one Θ-network member."""
+
+    node_id: int
+    host: str
+    port: int
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Start-up configuration of one node (paper §3.6: the network manager
+    "sets up the needed components based on the configuration")."""
+
+    node_id: int
+    parties: int
+    threshold: int
+    listen_host: str = "127.0.0.1"
+    listen_port: int = 0
+    rpc_host: str = "127.0.0.1"
+    rpc_port: int = 0
+    peers: tuple[PeerConfig, ...] = ()
+    transport: str = "tcp"  # "tcp" or "local"
+    enable_tob: bool = True
+    tob_sequencer: int = 1
+    tob_block_interval: float = 0.0
+    gossip_fanout: int | None = None
+    instance_timeout: float = 60.0
+    # §3.2: "RPC requests can be authenticated by exploiting the common
+    # security context such that only the service node in the same security
+    # domain is allowed to issue requests".  Empty string disables the check.
+    rpc_auth_token: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.node_id <= self.parties:
+            raise ConfigurationError(
+                f"node id {self.node_id} outside 1..{self.parties}"
+            )
+        if self.threshold >= self.parties:
+            raise ConfigurationError("threshold must be below the party count")
+        if self.transport not in ("tcp", "local"):
+            raise ConfigurationError(f"unknown transport {self.transport!r}")
+
+    def peer_map(self) -> dict[int, tuple[str, int]]:
+        return {
+            p.node_id: (p.host, p.port)
+            for p in self.peers
+            if p.node_id != self.node_id
+        }
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["peers"] = [asdict(p) for p in self.peers]
+        return json.dumps(payload, indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "NodeConfig":
+        payload = json.loads(text)
+        peers = tuple(PeerConfig(**p) for p in payload.pop("peers", []))
+        fanout = payload.pop("gossip_fanout", None)
+        return NodeConfig(peers=peers, gossip_fanout=fanout, **payload)
+
+    def with_auth(self, token: str) -> "NodeConfig":
+        """Copy of this config with RPC authentication enabled."""
+        from dataclasses import replace
+
+        return replace(self, rpc_auth_token=token)
+
+
+def make_local_configs(
+    parties: int,
+    threshold: int,
+    base_port: int = 17000,
+    rpc_base_port: int = 18000,
+    host: str = "127.0.0.1",
+    **overrides,
+) -> list[NodeConfig]:
+    """Build a consistent config set for an n-node deployment on one host."""
+    peers = tuple(
+        PeerConfig(i, host, base_port + i) for i in range(1, parties + 1)
+    )
+    return [
+        NodeConfig(
+            node_id=i,
+            parties=parties,
+            threshold=threshold,
+            listen_host=host,
+            listen_port=base_port + i,
+            rpc_host=host,
+            # rpc_base_port=0 requests OS-assigned ephemeral ports.
+            rpc_port=rpc_base_port + i if rpc_base_port else 0,
+            peers=peers,
+            **overrides,
+        )
+        for i in range(1, parties + 1)
+    ]

@@ -1,0 +1,77 @@
+"""Run a Thetacrypt node as a standalone process.
+
+The real-deployment entry point: one process per Θ-network member, TCP
+transport between them, keys loaded from a keystore file produced by
+``tools/deal_keys.py``::
+
+    python3 -m repro.service.daemon --config node1/config.json \
+                                    --keystore node1/keystore.json
+
+The process serves RPC until SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import signal
+
+from ..schemes.keystore import keystore_from_json
+from .config import NodeConfig
+from .node import ThetacryptNode
+
+logger = logging.getLogger("repro.daemon")
+
+
+def load_node(config_path: str, keystore_path: str) -> ThetacryptNode:
+    """Build a node from its on-disk configuration and keystore."""
+    with open(config_path) as handle:
+        config = NodeConfig.from_json(handle.read())
+    node = ThetacryptNode(config)
+    with open(keystore_path) as handle:
+        shares = keystore_from_json(handle.read())
+    for key_id, (scheme, share) in shares.items():
+        node.install_key(key_id, scheme, share.public, share)
+    return node
+
+
+async def run_until_signal(node: ThetacryptNode) -> None:
+    """Start the node and serve until SIGINT/SIGTERM."""
+    await node.start()
+    host, port = node.rpc_address
+    logger.info(
+        "node %d up: rpc on %s:%d, %d keys installed",
+        node.config.node_id,
+        host,
+        port,
+        len(node.keys),
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX platforms
+            pass
+    await stop.wait()
+    logger.info("shutting down node %d", node.config.node_id)
+    await node.stop()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Run one Thetacrypt node")
+    parser.add_argument("--config", required=True, help="NodeConfig JSON file")
+    parser.add_argument("--keystore", required=True, help="keystore JSON file")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    node = load_node(args.config, args.keystore)
+    asyncio.run(run_until_signal(node))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,357 @@
+"""The Thetacrypt node: service + core + network wired together.
+
+"Each node runs a stateful Thetacrypt instance in a dedicated process.
+Applications invoke the service at one node through a remote procedure call"
+(§3.2).  The node derives deterministic instance ids from request content so
+that all n nodes working on the same request converge on the same protocol
+instance without extra coordination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+
+from ..core.messages import Channel
+from ..core.orchestration import InstanceManager, InstanceRecord, KeyManager
+from ..core.protocols import (
+    DkgProtocol,
+    FrostPrecomputationPool,
+    FrostPrecomputeProtocol,
+    FrostProtocol,
+    NonInteractiveProtocol,
+    OperationRequest,
+    make_operation,
+)
+from ..groups.registry import get_group
+from ..errors import ConfigurationError, RpcError
+from ..network.interfaces import P2PNetwork
+from ..network.local import LocalHub
+from ..network.manager import NetworkManager
+from ..network.tcp import TcpP2P
+from ..schemes.base import SCHEME_TABLE, SchemeKind, get_scheme
+from ..serialization import hexlify
+from .config import NodeConfig
+from .server import RpcServer
+
+
+def derive_instance_id(kind: str, key_id: str, data: bytes, label: bytes = b"") -> str:
+    """Deterministic instance id shared by all nodes for the same request."""
+    digest = hashlib.sha256(
+        b"repro-instance" + kind.encode() + b"\x00" + key_id.encode() + b"\x00"
+        + len(label).to_bytes(4, "big") + label + data
+    ).hexdigest()
+    return f"{kind}-{digest[:24]}"
+
+
+class ThetacryptNode:
+    """One Θ-network member."""
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        transport: P2PNetwork | None = None,
+        tob=None,
+    ):
+        self.config = config
+        self.keys = KeyManager()
+        if transport is None:
+            if config.transport != "tcp":
+                raise ConfigurationError(
+                    "non-tcp transports must be supplied explicitly "
+                    "(e.g. a LocalHub endpoint)"
+                )
+            transport = TcpP2P(
+                config.node_id,
+                config.listen_host,
+                config.listen_port,
+                config.peer_map(),
+            )
+        # ``tob`` lets a host platform supply its own total-order channel
+        # (the proxy deployment of Fig. 1); otherwise the node runs the
+        # built-in sequencer TOB when enabled.
+        self.network = NetworkManager(
+            transport,
+            enable_tob=config.enable_tob,
+            sequencer_id=config.tob_sequencer,
+            tob_block_interval=config.tob_block_interval,
+            gossip_fanout=config.gossip_fanout,
+            tob=tob,
+        )
+        self.instances = InstanceManager(
+            config.node_id,
+            self.network.dispatch,
+            default_timeout=config.instance_timeout,
+        )
+        self.network.set_protocol_handler(self.instances.handle_network_message)
+        self.rpc = RpcServer(self, config.rpc_host, config.rpc_port)
+        self._frost_pools: dict[str, FrostPrecomputationPool] = {}
+        self._refresh_epochs: dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.network.start()
+        await self.rpc.start()
+
+    async def stop(self) -> None:
+        await self.rpc.stop()
+        await self.instances.shutdown()
+        await self.network.stop()
+
+    @property
+    def rpc_address(self) -> tuple[str, int]:
+        return self.rpc.address
+
+    # -- key installation --------------------------------------------------------
+
+    def install_key(
+        self, key_id: str, scheme: str, public_key, key_share
+    ) -> None:
+        """Register dealer output for this node (done before start)."""
+        self.keys.register(key_id, scheme, public_key, key_share)
+
+    # -- protocol API ----------------------------------------------------------
+
+    def _channel_for(self, scheme: str) -> Channel:
+        # Interactive protocols synchronise their rounds over TOB when the
+        # deployment has one (§3.6); non-interactive schemes use plain P2P.
+        if SCHEME_TABLE[scheme].rounds > 1 and self.network.has_tob:
+            return Channel.TOB
+        return Channel.P2P
+
+    def submit_request(
+        self, kind: str, key_id: str, data: bytes, label: bytes = b""
+    ) -> InstanceRecord:
+        """Start (idempotently) the protocol instance for a request."""
+        entry = self.keys.get(key_id)
+        instance_id = derive_instance_id(kind, key_id, data, label)
+        if entry.scheme == "kg20":
+            if kind != "sign":
+                raise RpcError("kg20 keys only support signing")
+            pool = self._frost_pools.get(key_id)
+            protocol = FrostProtocol(
+                instance_id,
+                entry.key_share,
+                data,
+                channel=self._channel_for("kg20"),
+                pool=pool if pool is not None and pool.available else None,
+            )
+        else:
+            operation = make_operation(
+                entry.scheme,
+                entry.public_key,
+                entry.key_share,
+                OperationRequest(kind, data, label),
+            )
+            protocol = NonInteractiveProtocol(
+                instance_id,
+                self.config.node_id,
+                operation,
+                channel=self._channel_for(entry.scheme),
+            )
+        return self.instances.start_instance(protocol, entry.scheme)
+
+    async def run_request(
+        self, kind: str, key_id: str, data: bytes, label: bytes = b""
+    ) -> bytes:
+        """Submit a request and await its result."""
+        record = self.submit_request(kind, key_id, data, label)
+        return await self.instances.result(record.instance_id)
+
+    async def precompute_frost(self, key_id: str, count: int) -> int:
+        """Run the FROST preprocessing round, filling this key's nonce pool."""
+        entry = self.keys.get(key_id)
+        if entry.scheme != "kg20":
+            raise RpcError("precomputation only applies to kg20 keys")
+        pool = self._frost_pools.setdefault(key_id, FrostPrecomputationPool())
+        instance_id = derive_instance_id(
+            "frost-pre", key_id, count.to_bytes(4, "big")
+        )
+        protocol = FrostPrecomputeProtocol(
+            instance_id,
+            entry.key_share,
+            count,
+            pool,
+            channel=self._channel_for("kg20"),
+        )
+        record = self.instances.start_instance(protocol, "kg20")
+        await self.instances.result(record.instance_id)
+        return pool.available
+
+    async def run_dkg(
+        self, key_id: str, scheme: str = "cks05", group_name: str = "ed25519"
+    ) -> str:
+        """Generate a key *without a dealer* and install it under ``key_id``.
+
+        All nodes must call this with the same arguments (the instance id is
+        derived from them).  The Joint-Feldman output has the shape
+        ``(Y = g^x, Y_i = g^{x_i})``, which is exactly the key material of
+        the discrete-log schemes; supported targets: cks05, sg02, kg20.
+        Returns the hex group public key.
+        """
+        from ..schemes import cks05 as cks05_mod
+        from ..schemes import kg20 as kg20_mod
+        from ..schemes import sg02 as sg02_mod
+
+        key_types = {
+            "cks05": (cks05_mod.Cks05PublicKey, cks05_mod.Cks05KeyShare),
+            "sg02": (sg02_mod.Sg02PublicKey, sg02_mod.Sg02KeyShare),
+            "kg20": (kg20_mod.Kg20PublicKey, kg20_mod.Kg20KeyShare),
+        }
+        if scheme not in key_types:
+            raise RpcError(
+                f"DKG output fits DL schemes only ({sorted(key_types)}), "
+                f"not {scheme!r}"
+            )
+        if key_id in self.keys:
+            raise RpcError(f"key id {key_id!r} already installed")
+        group = get_group(group_name)
+        instance_id = derive_instance_id(
+            "dkg", key_id, group_name.encode(), scheme.encode()
+        )
+        protocol = DkgProtocol(
+            instance_id,
+            self.config.node_id,
+            self.config.threshold,
+            self.config.parties,
+            group,
+        )
+        record = self.instances.start_instance(protocol, scheme)
+        await self.instances.result(record.instance_id)
+        result = protocol.result
+        public_cls, share_cls = key_types[scheme]
+        public = public_cls(
+            group_name,
+            self.config.threshold,
+            self.config.parties,
+            result.group_key,
+            tuple(result.verification_keys),
+        )
+        share = share_cls(self.config.node_id, result.key_share, public)
+        self.install_key(key_id, scheme, public, share)
+        return hexlify(result.group_key.to_bytes())
+
+    async def refresh_key(self, key_id: str) -> str:
+        """Proactively refresh an installed DL key's shares (same public key).
+
+        All nodes must call this with the same ``key_id``.  The first t+1
+        nodes re-deal; every node ends up with a fresh share of the same
+        secret, and the entry in the key manager is swapped atomically once
+        the protocol finishes.  Returns the (unchanged) group key in hex.
+        """
+        from ..core.protocols import ReshareProtocol
+
+        entry = self.keys.get(key_id)
+        if entry.scheme not in ("cks05", "sg02", "kg20"):
+            raise RpcError(
+                f"refresh supports the DL schemes, not {entry.scheme!r}"
+            )
+        public = entry.public_key
+        # The group key attribute is `h` for ciphers/coins, `y` for kg20.
+        current_key = getattr(public, "h", None) or public.y
+        # Epoch counter makes repeated refreshes of the same key distinct.
+        epoch = self._refresh_epochs.get(key_id, 0) + 1
+        self._refresh_epochs[key_id] = epoch
+        instance_id = derive_instance_id(
+            "refresh", key_id, epoch.to_bytes(4, "big")
+        )
+        protocol = ReshareProtocol(
+            instance_id,
+            self.config.node_id,
+            public.threshold,
+            public.parties,
+            public.group,
+            entry.key_share.value,
+        )
+        record = self.instances.start_instance(protocol, entry.scheme)
+        await self.instances.result(record.instance_id)
+        result = protocol.result
+        if result.group_key != current_key:
+            raise RpcError("refresh produced a different group key; aborting swap")
+        new_public = type(public)(
+            public.group_name,
+            public.threshold,
+            public.parties,
+            result.group_key,
+            tuple(result.verification_keys),
+        )
+        new_share = type(entry.key_share)(
+            self.config.node_id, result.share_value, new_public
+        )
+        self.keys.remove(key_id)
+        self.keys.register(key_id, entry.scheme, new_public, new_share)
+        return hexlify(result.group_key.to_bytes())
+
+    # -- scheme API (direct primitive access) ----------------------------------
+
+    def scheme_encrypt(self, key_id: str, plaintext: bytes, label: bytes) -> bytes:
+        entry = self.keys.get(key_id)
+        scheme = get_scheme(entry.scheme)
+        if SCHEME_TABLE[entry.scheme].kind is not SchemeKind.CIPHER:
+            raise RpcError(f"key {key_id!r} is not a cipher key")
+        return scheme.encrypt(entry.public_key, plaintext, label).to_bytes()
+
+    def scheme_verify_signature(
+        self, key_id: str, message: bytes, signature: bytes
+    ) -> bool:
+        from ..schemes import bls04, kg20, sh00
+
+        entry = self.keys.get(key_id)
+        scheme = get_scheme(entry.scheme)
+        try:
+            if entry.scheme == "sh00":
+                sig = sh00.Sh00Signature.from_bytes(signature)
+            elif entry.scheme == "bls04":
+                sig = bls04.Bls04Signature.from_bytes(signature)
+            elif entry.scheme == "kg20":
+                sig = kg20.Kg20Signature.from_bytes(
+                    signature, entry.public_key.group
+                )
+            else:
+                raise RpcError(f"key {key_id!r} is not a signature key")
+            scheme.verify(entry.public_key, message, sig)
+            return True
+        except RpcError:
+            raise
+        except Exception:  # noqa: BLE001 - verification is a boolean question
+            return False
+
+    def stats(self) -> dict:
+        """Health/utilization snapshot: instance counts and latency summary."""
+        records = self.instances.records()
+        by_status: dict[str, int] = {}
+        latencies: list[float] = []
+        for record in records:
+            by_status[record.status.value] = by_status.get(record.status.value, 0) + 1
+            if record.latency is not None and record.error is None:
+                latencies.append(record.latency)
+        latencies.sort()
+        summary = {}
+        if latencies:
+            summary = {
+                "count": len(latencies),
+                "mean": sum(latencies) / len(latencies),
+                "p50": latencies[len(latencies) // 2],
+                "max": latencies[-1],
+            }
+        return {
+            "node_id": self.config.node_id,
+            "instances": by_status,
+            "active": self.instances.active_count,
+            "keys": len(self.keys),
+            "latency": summary,
+        }
+
+    def key_info(self) -> list[dict]:
+        return [
+            {
+                "key_id": entry.key_id,
+                "scheme": entry.scheme,
+                "kind": entry.kind,
+                "threshold": entry.public_key.threshold,
+                "parties": entry.public_key.parties,
+                "public_key": hexlify(entry.public_key.to_bytes()),
+            }
+            for entry in self.keys.list_keys()
+        ]

@@ -1,0 +1,170 @@
+"""RPC server: the node-side of the service layer.
+
+JSON-lines framing (one request object per line, matching response carrying
+the same ``id``).  Two endpoint families, as in §3.4:
+
+Protocol API (black-box threshold protocol execution):
+  ``decrypt``, ``sign``, ``flip_coin``, ``precompute``, ``status``
+
+Scheme API (direct primitive access):
+  ``encrypt``, ``verify_signature``, ``list_keys``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from typing import TYPE_CHECKING
+
+from ..errors import ThetacryptError
+from ..serialization import hexlify, unhexlify
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import ThetacryptNode
+
+logger = logging.getLogger(__name__)
+
+
+class RpcServer:
+    """Per-node RPC listener."""
+
+    def __init__(self, node: "ThetacryptNode", host: str, port: int):
+        self._node = node
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            return self._host, self._port
+        sock = self._server.sockets[0]
+        return sock.getsockname()[0], sock.getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_client, self._host, self._port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            task = asyncio.get_event_loop().create_task(
+                self._handle_line(line, writer, write_lock)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    def _check_auth(self, request: dict) -> None:
+        expected = self._node.config.rpc_auth_token
+        if expected and request.get("auth") != expected:
+            raise ThetacryptError(
+                "unauthorized: request lacks the security-domain token"
+            )
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = None
+        try:
+            request = json.loads(line)
+            request_id = request.get("id")
+            self._check_auth(request)
+            result = await self._dispatch(
+                request.get("method", ""), request.get("params", {})
+            )
+            response = {"id": request_id, "result": result}
+        except ThetacryptError as exc:
+            response = {"id": request_id, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - report malformed requests
+            logger.exception("rpc failure")
+            response = {"id": request_id, "error": f"internal error: {exc}"}
+        async with write_lock:
+            try:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(self, method: str, params: dict) -> dict:
+        node = self._node
+        # ------ protocol API ------
+        if method in ("decrypt", "sign", "flip_coin"):
+            kind = {"decrypt": "decrypt", "sign": "sign", "flip_coin": "coin"}[method]
+            started = time.monotonic()
+            result = await node.run_request(
+                kind,
+                params["key_id"],
+                unhexlify(params["data"]),
+                unhexlify(params.get("label", "")),
+            )
+            return {
+                "result": hexlify(result),
+                "latency": time.monotonic() - started,
+            }
+        if method == "run_dkg":
+            group_key = await node.run_dkg(
+                params["key_id"],
+                scheme=params.get("scheme", "cks05"),
+                group_name=params.get("group", "ed25519"),
+            )
+            return {"group_key": group_key}
+        if method == "refresh_key":
+            group_key = await node.refresh_key(params["key_id"])
+            return {"group_key": group_key}
+        if method == "precompute":
+            available = await node.precompute_frost(
+                params["key_id"], int(params["count"])
+            )
+            return {"available": available}
+        if method == "status":
+            record = node.instances.record(params["instance_id"])
+            return {
+                "instance_id": record.instance_id,
+                "scheme": record.scheme,
+                "status": record.status.value,
+                "latency": record.latency,
+                "error": record.error,
+            }
+        # ------ scheme API ------
+        if method == "encrypt":
+            ciphertext = node.scheme_encrypt(
+                params["key_id"],
+                unhexlify(params["data"]),
+                unhexlify(params.get("label", "")),
+            )
+            return {"ciphertext": hexlify(ciphertext)}
+        if method == "verify_signature":
+            valid = node.scheme_verify_signature(
+                params["key_id"],
+                unhexlify(params["data"]),
+                unhexlify(params["signature"]),
+            )
+            return {"valid": valid}
+        if method == "list_keys":
+            return {"keys": node.key_info()}
+        if method == "node_stats":
+            # Monitoring endpoint (the paper co-locates a Prometheus server
+            # per node; this is the equivalent scrape target).
+            return node.stats()
+        if method == "ping":
+            return {"node_id": node.config.node_id}
+        raise ThetacryptError(f"unknown method {method!r}")

@@ -1,0 +1,18 @@
+"""Secret sharing: Shamir over fields and integers, Feldman/Pedersen VSS."""
+
+from .shamir import ShamirShare, share_secret, reconstruct_secret
+from .integer_shamir import share_integer_secret
+from .feldman import FeldmanCommitment, feldman_share
+from .pedersen import PedersenCommitment, pedersen_share, pedersen_verify
+
+__all__ = [
+    "ShamirShare",
+    "share_secret",
+    "reconstruct_secret",
+    "share_integer_secret",
+    "FeldmanCommitment",
+    "feldman_share",
+    "PedersenCommitment",
+    "pedersen_share",
+    "pedersen_verify",
+]

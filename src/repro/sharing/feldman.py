@@ -1,0 +1,82 @@
+"""Feldman verifiable secret sharing over an abstract group.
+
+A dealer publishes commitments ``C_k = g^{a_k}`` to the polynomial
+coefficients; each party checks its share against them.  Used by the trusted
+dealer (so parties can audit their key material) and as the building block of
+the Joint-Feldman DKG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import InvalidShareError
+from ..groups.base import Group, GroupElement
+from .shamir import ShamirShare, check_threshold, evaluate_polynomial, sample_polynomial
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Public commitments to the dealing polynomial's coefficients."""
+
+    commitments: tuple[GroupElement, ...]
+
+    @property
+    def threshold(self) -> int:
+        return len(self.commitments) - 1
+
+    def expected_share_commitment(self, share_id: int) -> GroupElement:
+        """Compute g^{f(share_id)} = Π C_k^{id^k} from the commitments."""
+        group = self.commitments[0].group
+        result = group.identity()
+        power = 1
+        for commitment in self.commitments:
+            result = result * commitment**power
+            power *= share_id
+        return result
+
+    def verify_share(self, share: ShamirShare) -> None:
+        """Raise :class:`InvalidShareError` if the share is inconsistent."""
+        group = self.commitments[0].group
+        expected = self.expected_share_commitment(share.id)
+        if group.generator() ** share.value != expected:
+            raise InvalidShareError(
+                f"share {share.id} does not match Feldman commitments"
+            )
+
+    def public_key(self) -> GroupElement:
+        """g^{f(0)} — the group public key of the shared secret."""
+        return self.commitments[0]
+
+
+def feldman_share(
+    secret: int, threshold: int, parties: int, group: Group
+) -> tuple[list[ShamirShare], FeldmanCommitment]:
+    """Deal shares of ``secret`` with Feldman commitments over ``group``."""
+    check_threshold(threshold, parties)
+    coefficients = sample_polynomial(secret, threshold, group.order)
+    shares = [
+        ShamirShare(i, evaluate_polynomial(coefficients, i, group.order))
+        for i in range(1, parties + 1)
+    ]
+    commitments = tuple(group.generator() ** c for c in coefficients)
+    return shares, FeldmanCommitment(commitments)
+
+
+def combine_commitments(
+    commitments: Sequence[FeldmanCommitment],
+) -> FeldmanCommitment:
+    """Pointwise product of commitments (sums the committed polynomials)."""
+    if not commitments:
+        raise InvalidShareError("no commitments to combine")
+    width = len(commitments[0].commitments)
+    if any(len(c.commitments) != width for c in commitments):
+        raise InvalidShareError("commitment degree mismatch")
+    combined = []
+    for k in range(width):
+        acc = commitments[0].commitments[k]
+        for other in commitments[1:]:
+            acc = acc * other.commitments[k]
+        combined.append(acc)
+    return FeldmanCommitment(tuple(combined))

@@ -1,0 +1,35 @@
+"""Shamir sharing over a *secret* modulus, as used by Shoup's RSA scheme.
+
+In SH00 the signing exponent ``d`` is shared over Z_m with ``m = p'q'``
+secret.  Reconstruction cannot divide by Lagrange denominators, so the scheme
+works with Δ-scaled integer coefficients (Δ = n!, see
+:func:`repro.mathutils.lagrange.shoup_lagrange_coefficient`).  Dealing is
+ordinary polynomial evaluation over Z_m; only the *use* of the shares differs.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from .shamir import ShamirShare, check_threshold
+
+
+def share_integer_secret(
+    secret: int, threshold: int, parties: int, modulus: int
+) -> list[ShamirShare]:
+    """Deal a (t, n) sharing of ``secret`` over the hidden-order ring Z_modulus.
+
+    Identical maths to field Shamir; kept separate because callers must NOT
+    reconstruct with modular Lagrange (the modulus is secret at combine time)
+    but with Shoup's Δ-scaled integer coefficients.
+    """
+    check_threshold(threshold, parties)
+    coefficients = [secret % modulus]
+    coefficients.extend(secrets.randbelow(modulus) for _ in range(threshold))
+    shares = []
+    for i in range(1, parties + 1):
+        value = 0
+        for coefficient in reversed(coefficients):
+            value = (value * i + coefficient) % modulus
+        shares.append(ShamirShare(i, value))
+    return shares

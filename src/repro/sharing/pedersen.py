@@ -1,0 +1,86 @@
+"""Pedersen verifiable secret sharing (information-theoretically hiding).
+
+Commitments ``C_k = g^{a_k} · h^{b_k}`` bind two polynomials (the share
+polynomial and a blinding polynomial) without revealing either; ``h`` is a
+second generator with unknown discrete log, derived by hashing a domain tag
+into the group.  Used by the Gennaro-style DKG variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidShareError
+from ..groups.base import Group, GroupElement
+from .shamir import ShamirShare, check_threshold, evaluate_polynomial, sample_polynomial
+
+_H_TAG = b"repro-pedersen-vss-second-generator"
+
+
+def second_generator(group: Group) -> GroupElement:
+    """A generator with unknown dlog relative to the standard one."""
+    return group.hash_to_element(_H_TAG)
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """Commitments C_k = g^{a_k} h^{b_k} to both polynomials."""
+
+    commitments: tuple[GroupElement, ...]
+
+    @property
+    def threshold(self) -> int:
+        return len(self.commitments) - 1
+
+    def expected_share_commitment(self, share_id: int) -> GroupElement:
+        group = self.commitments[0].group
+        result = group.identity()
+        power = 1
+        for commitment in self.commitments:
+            result = result * commitment**power
+            power *= share_id
+        return result
+
+
+def pedersen_share(
+    secret: int, threshold: int, parties: int, group: Group
+) -> tuple[list[ShamirShare], list[ShamirShare], PedersenCommitment]:
+    """Deal (share, blinding-share) pairs with Pedersen commitments.
+
+    Returns ``(shares, blinding_shares, commitment)``; party ``i`` receives
+    ``(shares[i-1], blinding_shares[i-1])``.
+    """
+    check_threshold(threshold, parties)
+    h = second_generator(group)
+    a = sample_polynomial(secret, threshold, group.order)
+    b = sample_polynomial(group.random_scalar(), threshold, group.order)
+    shares = [
+        ShamirShare(i, evaluate_polynomial(a, i, group.order))
+        for i in range(1, parties + 1)
+    ]
+    blinding = [
+        ShamirShare(i, evaluate_polynomial(b, i, group.order))
+        for i in range(1, parties + 1)
+    ]
+    commitments = tuple(
+        group.generator() ** ak * h**bk for ak, bk in zip(a, b)
+    )
+    return shares, blinding, PedersenCommitment(commitments)
+
+
+def pedersen_verify(
+    commitment: PedersenCommitment,
+    share: ShamirShare,
+    blinding_share: ShamirShare,
+    group: Group,
+) -> None:
+    """Raise :class:`InvalidShareError` if the pair fails the VSS check."""
+    if share.id != blinding_share.id:
+        raise InvalidShareError("share and blinding share ids differ")
+    h = second_generator(group)
+    expected = commitment.expected_share_commitment(share.id)
+    actual = group.generator() ** share.value * h**blinding_share.value
+    if actual != expected:
+        raise InvalidShareError(
+            f"share {share.id} does not match Pedersen commitments"
+        )

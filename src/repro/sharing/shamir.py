@@ -1,0 +1,83 @@
+"""Shamir secret sharing over a prime field Z_q.
+
+Thetacrypt's convention (and this library's throughout): a *(t, n)* sharing
+tolerates ``t`` corrupted parties and any ``t + 1`` shares reconstruct — the
+dealing polynomial has degree ``t``.  Participant ids are 1..n (0 is the
+secret's evaluation point and must never be a share id).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError, ThresholdNotReachedError
+from ..mathutils.lagrange import lagrange_coefficients_at_zero
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One participant's share: the polynomial evaluated at ``id``."""
+
+    id: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.id < 1:
+            raise ConfigurationError("share ids start at 1")
+
+
+def check_threshold(threshold: int, parties: int) -> None:
+    """Validate a (t, n) parameter pair."""
+    if parties < 1:
+        raise ConfigurationError("need at least one party")
+    if threshold < 1:
+        raise ConfigurationError("threshold must be at least 1")
+    if threshold >= parties:
+        raise ConfigurationError(
+            f"threshold t={threshold} must be < n={parties} "
+            "(t+1 parties must be able to reconstruct)"
+        )
+
+
+def sample_polynomial(secret: int, degree: int, modulus: int) -> list[int]:
+    """Random polynomial of the given degree with constant term ``secret``."""
+    coefficients = [secret % modulus]
+    coefficients.extend(secrets.randbelow(modulus) for _ in range(degree))
+    return coefficients
+
+
+def evaluate_polynomial(coefficients: Sequence[int], x: int, modulus: int) -> int:
+    """Horner evaluation of the polynomial at ``x`` over Z_modulus."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % modulus
+    return result
+
+
+def share_secret(
+    secret: int, threshold: int, parties: int, modulus: int
+) -> list[ShamirShare]:
+    """Deal a (t, n) Shamir sharing of ``secret`` over Z_modulus."""
+    check_threshold(threshold, parties)
+    coefficients = sample_polynomial(secret, threshold, modulus)
+    return [
+        ShamirShare(i, evaluate_polynomial(coefficients, i, modulus))
+        for i in range(1, parties + 1)
+    ]
+
+
+def reconstruct_secret(
+    shares: Iterable[ShamirShare], threshold: int, modulus: int
+) -> int:
+    """Recover the secret from at least ``threshold + 1`` shares."""
+    share_list = list(shares)
+    if len(share_list) < threshold + 1:
+        raise ThresholdNotReachedError(
+            f"need {threshold + 1} shares, got {len(share_list)}"
+        )
+    subset = share_list[: threshold + 1]
+    ids = [share.id for share in subset]
+    coefficients = lagrange_coefficients_at_zero(ids, modulus)
+    return sum(share.value * coefficients[share.id] for share in subset) % modulus

@@ -1,0 +1,53 @@
+"""Evaluation substrate: a deterministic discrete-event Θ-network simulator.
+
+The paper's evaluation ran on up to 127 DigitalOcean VMs across four
+regions.  This package reproduces that testbed in a discrete-event
+simulation: each node has one vCPU (a FIFO queue), crypto operations take
+calibrated CPU time, and messages travel over the Table 2 latency matrix.
+The protocol flows simulated are exactly those of our core layer (share →
+verify → combine; FROST's two rounds), so the simulator exercises the same
+message complexity as the real service, just with modeled time instead of
+wall-clock time.
+
+See DESIGN.md ("Substitutions") for why this preserves the paper's claims.
+"""
+
+from .events import Simulator, FifoCpu
+from .latency import Region, LatencyModel
+from .costs import CostModel, calibrated_cost_model, measured_cost_model
+from .deployments import Deployment, DEPLOYMENTS
+from .cluster import SimulatedThetaNetwork, RequestSample
+from .workload import Workload
+from .metrics import (
+    ExperimentMetrics,
+    latency_percentile,
+    network_node_metrics,
+    residual_delay_factor,
+    latency_fairness_index,
+    find_knee,
+)
+from .experiments import capacity_test, steady_state, payload_sweep
+
+__all__ = [
+    "Simulator",
+    "FifoCpu",
+    "Region",
+    "LatencyModel",
+    "CostModel",
+    "calibrated_cost_model",
+    "measured_cost_model",
+    "Deployment",
+    "DEPLOYMENTS",
+    "SimulatedThetaNetwork",
+    "RequestSample",
+    "Workload",
+    "ExperimentMetrics",
+    "latency_percentile",
+    "network_node_metrics",
+    "residual_delay_factor",
+    "latency_fairness_index",
+    "find_knee",
+    "capacity_test",
+    "steady_state",
+    "payload_sweep",
+]

@@ -1,0 +1,84 @@
+"""Command-line front end for the Θ-network simulator.
+
+Regenerate any experiment series as CSV without going through pytest::
+
+    python3 -m repro.sim.cli capacity --deployment DO-7-L --scheme sg02
+    python3 -m repro.sim.cli steady   --deployment DO-31-G --scheme kg20 --rate 4
+    python3 -m repro.sim.cli payload  --deployment DO-31-G --scheme sg02 --rate 8
+
+Output is one CSV row per measurement on stdout (pipe into a file or a
+plotting tool of choice).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .deployments import DEPLOYMENTS, get_deployment
+from .experiments import PAYLOAD_SIZES, capacity_test, payload_sweep, steady_state
+from .metrics import ExperimentMetrics, find_knee
+
+_FIELDS = [
+    "scheme", "deployment", "rate", "payload_bytes", "offered", "completed",
+    "throughput", "l50", "l95", "l_theta_net", "l50_net", "l95_net",
+    "delta_res", "eta_theta", "mean_utilization", "max_utilization",
+]
+
+
+def _emit_header() -> None:
+    print(",".join(_FIELDS))
+
+
+def _emit(metrics: ExperimentMetrics) -> None:
+    values = []
+    for field in _FIELDS:
+        value = getattr(metrics, field)
+        values.append(f"{value:.6f}" if isinstance(value, float) else str(value))
+    print(",".join(values))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Θ-network simulator CLI")
+    parser.add_argument(
+        "experiment", choices=["capacity", "steady", "payload", "knee"]
+    )
+    parser.add_argument(
+        "--deployment", default="DO-7-L", choices=sorted(DEPLOYMENTS)
+    )
+    parser.add_argument("--scheme", default="sg02")
+    parser.add_argument("--rate", type=float, default=None)
+    parser.add_argument("--duration", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    deployment = get_deployment(args.deployment)
+    _emit_header()
+    if args.experiment == "capacity":
+        for point in capacity_test(deployment, args.scheme, duration=args.duration):
+            _emit(point)
+    elif args.experiment == "knee":
+        points = capacity_test(deployment, args.scheme, duration=args.duration)
+        _emit(find_knee(points))
+    elif args.experiment == "steady":
+        if args.rate is None:
+            sys.exit("steady needs --rate (typically the knee capacity)")
+        _emit(
+            steady_state(
+                deployment, args.scheme, rate=args.rate, duration=args.duration
+            )
+        )
+    elif args.experiment == "payload":
+        if args.rate is None:
+            sys.exit("payload needs --rate (typically the knee capacity)")
+        for point in payload_sweep(
+            deployment,
+            args.scheme,
+            rate=args.rate,
+            payload_sizes=PAYLOAD_SIZES,
+            duration=args.duration,
+        ):
+            _emit(point)
+
+
+if __name__ == "__main__":
+    main()

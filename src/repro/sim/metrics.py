@@ -1,0 +1,213 @@
+"""The paper's metrics (§4.3): latency percentiles, L_θ, δ_res, η_θ, knees.
+
+Definitions reproduced:
+
+* **Server-side latency** — request receipt at a node to local result
+  generation; client round-trips are excluded.
+* **L_k** — k-th percentile over all (request, node) latency samples.
+* **Threshold latency L_θ^net** — the θ-th percentile of the latency
+  distribution *across nodes*, θ = (t+1)/n · 100 ≈ 34; per-node values are
+  each node's L_95 (the paper computes the derived metrics "from
+  L_95^node").
+* **Residual delay factor** δ_res = (L_95^net − L_θ^net) / L_θ^net.
+* **Latency fairness index** η_θ = L_θ^net / L_95^net.
+* **Throughput** — processed requests over the active window, with the 10%
+  grace period; **knee capacity** — the rate maximizing throughput/latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .cluster import SimResult
+
+
+def latency_percentile(values: list[float], k: float) -> float:
+    """k-th percentile by linear interpolation (0 < k ≤ 100)."""
+    if not values:
+        raise SimulationError("no latency samples")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (k / 100.0) * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """Everything one (scheme, deployment, rate) run yields."""
+
+    scheme: str
+    deployment: str
+    rate: float
+    payload_bytes: int
+    offered: int  # requests offered by the client
+    completed: int  # requests processed within the grace window
+    throughput: float
+    l50: float
+    l95: float
+    l_theta_net: float
+    l50_net: float
+    l95_net: float
+    delta_res: float
+    eta_theta: float
+    mean_utilization: float
+    max_utilization: float
+
+
+def _grace_horizon(result: SimResult) -> float:
+    duration = result.workload.effective_duration
+    return duration * 1.1
+
+
+def completed_latencies(result: SimResult) -> list[float]:
+    """All per-(request, node) latencies inside the grace window."""
+    horizon = _grace_horizon(result)
+    return [
+        s.finished_at - s.received_at
+        for s in result.samples
+        if s.finished_at is not None and s.finished_at <= horizon
+    ]
+
+
+def throughput_of(result: SimResult) -> tuple[float, int]:
+    """(requests/second, completed count) per the paper's §4.3 definition."""
+    duration = result.workload.effective_duration
+    horizon = _grace_horizon(result)
+    finish_times = sorted(
+        t for t in result.request_first_finish.values() if t <= horizon
+    )
+    offered = result.workload.request_count
+    completed = len(finish_times)
+    if completed == 0:
+        return 0.0, 0
+    if completed < offered:
+        # Saturated: unprocessed requests remain, so normalize by the full
+        # experiment duration for a consistent metric.
+        return completed / duration, completed
+    window = finish_times[-1] - finish_times[0]
+    if window <= 0:
+        window = duration
+    return completed / window, completed
+
+
+def network_node_metrics(
+    result: SimResult, quorum: int, parties: int
+) -> tuple[float, float, float]:
+    """(L_θ^net, L_50^net, L_95^net) from per-node L_95 values."""
+    horizon = _grace_horizon(result)
+    per_node: dict[int, list[float]] = {}
+    for sample in result.samples:
+        if sample.finished_at is None or sample.finished_at > horizon:
+            continue
+        per_node.setdefault(sample.node_id, []).append(
+            sample.finished_at - sample.received_at
+        )
+    node_values = [
+        latency_percentile(latencies, 95) for latencies in per_node.values()
+    ]
+    if not node_values:
+        raise SimulationError("no node completed any request")
+    theta = 100.0 * quorum / parties
+    return (
+        latency_percentile(node_values, theta),
+        latency_percentile(node_values, 50),
+        latency_percentile(node_values, 95),
+    )
+
+
+def residual_delay_factor(l_theta_net: float, l95_net: float) -> float:
+    """δ_res = (L_95^net − L_θ^net) / L_θ^net."""
+    if l_theta_net <= 0:
+        raise SimulationError("threshold latency must be positive")
+    return (l95_net - l_theta_net) / l_theta_net
+
+
+def latency_fairness_index(l_theta_net: float, l95_net: float) -> float:
+    """η_θ = L_θ^net / L_95^net ∈ (0, 1]."""
+    if l95_net <= 0:
+        raise SimulationError("L95 must be positive")
+    return l_theta_net / l95_net
+
+
+def summarize(result: SimResult, quorum: int, parties: int) -> ExperimentMetrics:
+    """Compute every §4.3 metric for one run.
+
+    A fully saturated run that completes nothing inside the grace window
+    yields a "saturation point": zero throughput and latencies pinned to the
+    experiment-time upper bound ("latency values range ... to an upper bound
+    due to the experiment time", §4.5).
+    """
+    latencies = completed_latencies(result)
+    if not latencies:
+        horizon = _grace_horizon(result)
+        utilizations = list(result.cpu_utilization.values())
+        return ExperimentMetrics(
+            scheme=result.scheme,
+            deployment=result.deployment,
+            rate=result.workload.rate,
+            payload_bytes=result.workload.payload_bytes,
+            offered=result.workload.request_count,
+            completed=0,
+            throughput=0.0,
+            l50=horizon,
+            l95=horizon,
+            l_theta_net=horizon,
+            l50_net=horizon,
+            l95_net=horizon,
+            delta_res=0.0,
+            eta_theta=1.0,
+            mean_utilization=sum(utilizations) / len(utilizations),
+            max_utilization=max(utilizations),
+        )
+    throughput, completed = throughput_of(result)
+    l_theta, l50_net, l95_net = network_node_metrics(result, quorum, parties)
+    utilizations = list(result.cpu_utilization.values())
+    return ExperimentMetrics(
+        scheme=result.scheme,
+        deployment=result.deployment,
+        rate=result.workload.rate,
+        payload_bytes=result.workload.payload_bytes,
+        offered=result.workload.request_count,
+        completed=completed,
+        throughput=throughput,
+        l50=latency_percentile(latencies, 50),
+        l95=latency_percentile(latencies, 95),
+        l_theta_net=l_theta,
+        l50_net=l50_net,
+        l95_net=l95_net,
+        delta_res=residual_delay_factor(l_theta, l95_net),
+        eta_theta=latency_fairness_index(l_theta, l95_net),
+        mean_utilization=sum(utilizations) / len(utilizations),
+        max_utilization=max(utilizations),
+    )
+
+
+def find_knee(points: list[ExperimentMetrics]) -> ExperimentMetrics:
+    """Knee capacity: the point maximizing throughput / L_95 (§4.4).
+
+    Only points where the system kept up with the offered load qualify —
+    past saturation both throughput and latency are artefacts of the
+    measurement window, not an operating point.  When no rate keeps up
+    (e.g. SH00 on 127 nodes), the knee degenerates to the lowest offered
+    rate, which is how the paper reports those rows (knee = 1 req/s).
+    """
+    if not points:
+        raise SimulationError("no capacity points")
+    sustainable = [p for p in points if p.offered and p.completed >= 0.95 * p.offered]
+    if not sustainable:
+        return min(points, key=lambda p: p.rate)
+    return max(
+        sustainable, key=lambda p: p.throughput / p.l95 if p.l95 > 0 else 0.0
+    )
+
+
+def usable_capacity(points: list[ExperimentMetrics]) -> ExperimentMetrics:
+    """Maximum sustainable throughput point (rightmost before degradation)."""
+    if not points:
+        raise SimulationError("no capacity points")
+    return max(points, key=lambda p: p.throughput)

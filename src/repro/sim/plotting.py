@@ -1,0 +1,73 @@
+"""Text-mode plotting for the experiment harness (no matplotlib offline).
+
+Renders the paper's figure shapes directly into benchmark output:
+throughput–latency curves (Fig. 4) and grouped bar charts (Fig. 5a).
+Log-scaled axes because both knees and latency walls span decades.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_position(value: float, low: float, high: float, width: int) -> int:
+    if value <= 0:
+        return 0
+    span = math.log10(high / low) if high > low else 1.0
+    fraction = math.log10(max(value, low) / low) / span
+    return min(width - 1, max(0, round(fraction * (width - 1))))
+
+
+def scatter_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    x_label: str = "throughput (req/s)",
+    y_label: str = "L95 (s)",
+) -> str:
+    """Render named (x, y) series on log–log axes as ASCII art."""
+    points = [(x, y) for pts in series.values() for x, y in pts if x > 0 and y > 0]
+    if not points:
+        return "(no data)"
+    x_low = min(x for x, _ in points)
+    x_high = max(x for x, _ in points)
+    y_low = min(y for _, y in points)
+    y_high = max(y for _, y in points)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                continue
+            column = _log_position(x, x_low, x_high, width)
+            row = height - 1 - _log_position(y, y_low, y_high, height)
+            grid[row][column] = marker
+    lines = [f"  {y_label}  (log scale, {y_low:.3g} … {y_high:.3g})"]
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(
+        f"   {x_label}  (log scale, {x_low:.3g} … {x_high:.3g})   " + "  ".join(legend)
+    )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "ms",
+) -> str:
+    """Horizontal bars, linear scale (Fig. 5a's latency bars)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    lines = []
+    for name, value in values.items():
+        bar = "█" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(f"  {name:>8s} |{bar} {value:.1f} {unit}")
+    return "\n".join(lines)

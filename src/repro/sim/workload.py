@@ -1,0 +1,58 @@
+"""Open-loop workload generation for the capacity and steady-state tests.
+
+The paper's benchmarking client "creates and schedules requests to the
+Θ-network according to the experiment parameters" (§4.1): a fixed request
+rate held for the experiment duration, with payload sizes from 256 B to
+4 KiB (§4.2).  Arrivals are evenly spaced with light deterministic jitter
+(an open-loop generator: the client never waits for responses).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experiment's request schedule."""
+
+    rate: float  # requests per second
+    duration: float  # seconds of request generation
+    payload_bytes: int = 256
+    jitter_fraction: float = 0.02
+    seed: int = 7
+    max_requests: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+
+    def arrival_times(self) -> list[float]:
+        """Client-side submission times of every request."""
+        rng = random.Random(self.seed)
+        spacing = 1.0 / self.rate
+        count = int(self.rate * self.duration)
+        if self.max_requests is not None:
+            count = min(count, self.max_requests)
+        times = []
+        for index in range(count):
+            jitter = rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+            times.append(max(0.0, (index + 0.5 + jitter) * spacing))
+        return times
+
+    @property
+    def request_count(self) -> int:
+        count = int(self.rate * self.duration)
+        if self.max_requests is not None:
+            count = min(count, self.max_requests)
+        return count
+
+    @property
+    def effective_duration(self) -> float:
+        """Duration actually covered by the (possibly capped) schedule."""
+        return self.request_count / self.rate

@@ -1,0 +1,18 @@
+"""Symmetric primitives for hybrid encryption: ChaCha20-Poly1305 AEAD.
+
+The paper's ciphers (SG02, BZ03) encrypt a symmetric key under the threshold
+key and the payload under ChaCha20-Poly1305 (§3.5).  Implemented from
+scratch per RFC 8439.
+"""
+
+from .aead import ChaCha20Poly1305, AeadError
+from .chacha20 import chacha20_block, chacha20_encrypt
+from .poly1305 import poly1305_mac
+
+__all__ = [
+    "ChaCha20Poly1305",
+    "AeadError",
+    "chacha20_block",
+    "chacha20_encrypt",
+    "poly1305_mac",
+]

@@ -1,0 +1,73 @@
+"""Shared fixtures: groups, small RSA moduli, and cached key material.
+
+Key generation for the pairing and RSA schemes is expensive in pure Python,
+so (threshold=1, parties=4) key material is dealt once per session and
+shared by read-only tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.groups import get_group
+from repro.groups.bn254 import bn254_pairing
+from repro.rsa.keygen import RsaModulus, generate_shoup_modulus
+from repro.schemes import generate_keys
+
+
+@pytest.fixture(scope="session")
+def ed25519_group():
+    return get_group("ed25519")
+
+
+@pytest.fixture(scope="session")
+def pairing():
+    return bn254_pairing()
+
+
+@pytest.fixture(scope="session")
+def small_modulus() -> RsaModulus:
+    """A fresh 256-bit Shoup modulus (fast to generate, fine for tests)."""
+    return generate_shoup_modulus(256)
+
+
+@pytest.fixture(scope="session")
+def keys_sg02():
+    return generate_keys("sg02", 1, 4)
+
+
+@pytest.fixture(scope="session")
+def keys_bz03():
+    return generate_keys("bz03", 1, 4)
+
+
+@pytest.fixture(scope="session")
+def keys_sh00(small_modulus):
+    return generate_keys("sh00", 1, 4, rsa_modulus=small_modulus)
+
+
+@pytest.fixture(scope="session")
+def keys_bls04():
+    return generate_keys("bls04", 1, 4)
+
+
+@pytest.fixture(scope="session")
+def keys_kg20():
+    return generate_keys("kg20", 1, 4)
+
+
+@pytest.fixture(scope="session")
+def keys_cks05():
+    return generate_keys("cks05", 1, 4)
+
+
+@pytest.fixture(scope="session")
+def all_keys(keys_sg02, keys_bz03, keys_sh00, keys_bls04, keys_kg20, keys_cks05):
+    return {
+        "sg02": keys_sg02,
+        "bz03": keys_bz03,
+        "sh00": keys_sh00,
+        "bls04": keys_bls04,
+        "kg20": keys_kg20,
+        "cks05": keys_cks05,
+    }

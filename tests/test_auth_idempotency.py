@@ -1,0 +1,126 @@
+"""RPC authentication (§3.2) and request idempotency."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import RpcError
+from repro.network.local import LocalHub
+from repro.service import ThetacryptClient, ThetacryptNode, make_local_configs
+
+
+async def _network(keys, token=""):
+    configs = [
+        c.with_auth(token) if token else c
+        for c in make_local_configs(4, 1, transport="local", rpc_base_port=0)
+    ]
+    hub = LocalHub(latency=lambda a, b: 0.001)
+    nodes = []
+    for config in configs:
+        node = ThetacryptNode(config, transport=hub.endpoint(config.node_id))
+        node.install_key(
+            "coin", keys.scheme, keys.public_key, keys.share_for(config.node_id)
+        )
+        await node.start()
+        nodes.append(node)
+    return nodes
+
+
+async def _stop(nodes, *clients):
+    for client in clients:
+        await client.close()
+    for node in nodes:
+        await node.stop()
+
+
+@pytest.mark.integration
+class TestRpcAuthentication:
+    def test_wrong_token_rejected(self, keys_cks05):
+        async def scenario():
+            nodes = await _network(keys_cks05, token="domain-secret")
+            addresses = {n.config.node_id: n.rpc_address for n in nodes}
+            intruder = ThetacryptClient(addresses)  # no token
+            wrong = ThetacryptClient(addresses, auth_token="guess")
+            authorized = ThetacryptClient(addresses, auth_token="domain-secret")
+            try:
+                with pytest.raises(RpcError, match="unauthorized"):
+                    await intruder.call(1, "ping", {})
+                with pytest.raises(RpcError, match="unauthorized"):
+                    await wrong.flip_coin("coin", b"x")
+                value = await authorized.flip_coin("coin", b"x")
+                assert len(value) == 32
+            finally:
+                await _stop(nodes, intruder, wrong, authorized)
+
+        asyncio.run(scenario())
+
+    def test_no_token_configured_means_open(self, keys_cks05):
+        async def scenario():
+            nodes = await _network(keys_cks05)
+            client = ThetacryptClient(
+                {n.config.node_id: n.rpc_address for n in nodes}
+            )
+            try:
+                assert (await client.call(1, "ping", {}))["node_id"] == 1
+            finally:
+                await _stop(nodes, client)
+
+        asyncio.run(scenario())
+
+    def test_config_json_round_trips_token(self):
+        config = make_local_configs(4, 1)[0].with_auth("tok")
+        from repro.service.config import NodeConfig
+
+        assert NodeConfig.from_json(config.to_json()).rpc_auth_token == "tok"
+
+
+@pytest.mark.integration
+class TestIdempotency:
+    def test_repeated_request_reuses_instance(self, keys_cks05):
+        """Same request → same instance id → the second call is a cache hit."""
+
+        async def scenario():
+            nodes = await _network(keys_cks05)
+            client = ThetacryptClient(
+                {n.config.node_id: n.rpc_address for n in nodes}
+            )
+            try:
+                first = await client.flip_coin("coin", b"idem")
+                start = time.perf_counter()
+                second = await client.flip_coin("coin", b"idem")
+                cached_latency = time.perf_counter() - start
+                assert first == second
+                # One instance per node, not two.
+                for node in nodes:
+                    records = [
+                        r for r in node.instances.records()
+                        if r.scheme == "cks05"
+                    ]
+                    assert len(records) == 1
+                assert cached_latency < 0.25  # no new protocol round-trips
+
+                # A different name is a different instance.
+                await client.flip_coin("coin", b"other")
+                assert len(nodes[0].instances.records()) == 2
+            finally:
+                await _stop(nodes, client)
+
+        asyncio.run(scenario())
+
+    def test_concurrent_duplicate_requests_converge(self, keys_cks05):
+        async def scenario():
+            nodes = await _network(keys_cks05)
+            client = ThetacryptClient(
+                {n.config.node_id: n.rpc_address for n in nodes}
+            )
+            try:
+                values = await asyncio.gather(
+                    *(client.flip_coin("coin", b"dup") for _ in range(5))
+                )
+                assert len({bytes(v) for v in values}) == 1
+                assert len(nodes[0].instances.records()) == 1
+            finally:
+                await _stop(nodes, client)
+
+        asyncio.run(scenario())

@@ -1,0 +1,182 @@
+"""BN254 tower fields: algebraic laws, Frobenius maps, square roots."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CryptoError
+from repro.groups.bn254.fp import (
+    FROB12_C1,
+    FROB6_C1,
+    Fp2,
+    Fp6,
+    Fp12,
+    P,
+    XI,
+)
+
+fp_ints = st.integers(min_value=0, max_value=P - 1)
+
+
+def rand_fp2(a, b):
+    return Fp2(a, b)
+
+
+def rand_fp6(vals):
+    return Fp6(Fp2(vals[0], vals[1]), Fp2(vals[2], vals[3]), Fp2(vals[4], vals[5]))
+
+
+def rand_fp12(vals):
+    return Fp12(rand_fp6(vals[:6]), rand_fp6(vals[6:]))
+
+
+fp6_strategy = st.lists(fp_ints, min_size=6, max_size=6).map(rand_fp6)
+fp12_strategy = st.lists(fp_ints, min_size=12, max_size=12).map(rand_fp12)
+
+
+class TestFp2:
+    def test_u_squared_is_minus_one(self):
+        u = Fp2(0, 1)
+        assert u * u == Fp2(P - 1, 0)
+
+    def test_mul_matches_schoolbook(self):
+        a, b = Fp2(3, 5), Fp2(7, 11)
+        # (3+5u)(7+11u) = 21 + 33u + 35u + 55u² = (21-55) + 68u.
+        assert a * b == Fp2(21 - 55, 68)
+
+    def test_square_matches_mul(self):
+        a = Fp2(123456, 789012)
+        assert a.square() == a * a
+
+    @settings(max_examples=20)
+    @given(fp_ints, fp_ints)
+    def test_inverse(self, c0, c1):
+        a = Fp2(c0, c1)
+        if a.is_zero():
+            return
+        assert a * a.inverse() == Fp2.one()
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(CryptoError):
+            Fp2.zero().inverse()
+
+    def test_conjugate_is_frobenius(self):
+        a = Fp2(17, 19)
+        assert a.conjugate() == a**P
+
+    def test_mul_xi(self):
+        a = Fp2(2, 3)
+        assert a.mul_xi() == a * XI
+
+    def test_pow_negative(self):
+        a = Fp2(5, 7)
+        assert a**-2 == (a * a).inverse()
+
+    def test_sqrt_round_trip(self):
+        for c0, c1 in ((4, 0), (123, 456), (0, 1), (P - 2, 99)):
+            a = Fp2(c0, c1).square()
+            root = a.sqrt()
+            assert root.square() == a
+
+    def test_sqrt_of_zero(self):
+        assert Fp2.zero().sqrt() == Fp2.zero()
+
+    def test_non_square_detected(self):
+        # ξ = 9 + u is the Fp6 non-residue, hence not a square in Fp2.
+        assert not XI.is_square()
+        with pytest.raises(CryptoError):
+            XI.sqrt()
+
+    def test_is_square_on_squares(self):
+        assert Fp2(123, 456).square().is_square()
+
+
+class TestFp6:
+    def test_v_cubed_is_xi(self):
+        v = Fp6(Fp2.zero(), Fp2.one(), Fp2.zero())
+        v3 = v * v * v
+        assert v3 == Fp6(XI, Fp2.zero(), Fp2.zero())
+
+    def test_mul_by_v_matches_mul(self):
+        a = rand_fp6([1, 2, 3, 4, 5, 6])
+        v = Fp6(Fp2.zero(), Fp2.one(), Fp2.zero())
+        assert a.mul_by_v() == a * v
+
+    @settings(max_examples=10)
+    @given(fp6_strategy)
+    def test_inverse(self, a):
+        if a.is_zero():
+            return
+        assert a * a.inverse() == Fp6.one()
+
+    @settings(max_examples=10)
+    @given(fp6_strategy, fp6_strategy)
+    def test_commutative(self, a, b):
+        assert a * b == b * a
+
+    def test_distributive(self):
+        a = rand_fp6([1, 2, 3, 4, 5, 6])
+        b = rand_fp6([7, 8, 9, 10, 11, 12])
+        c = rand_fp6([13, 14, 15, 16, 17, 18])
+        assert a * (b + c) == a * b + a * c
+
+    def test_frobenius_constants(self):
+        assert FROB6_C1 == XI ** ((P - 1) // 3)
+
+    def test_frobenius_is_p_power(self):
+        # π(a) computed with γ-constants must equal a^p computed naively.
+        a = rand_fp6([3, 1, 4, 1, 5, 9])
+        v = Fp6(Fp2.zero(), Fp2.one(), Fp2.zero())
+        naive = Fp12(a, Fp6.zero()) ** P  # embed in Fp12 and exponentiate
+        assert Fp12(a.frobenius(), Fp6.zero()) == naive
+
+
+class TestFp12:
+    def test_w_squared_is_v(self):
+        w = Fp12(Fp6.zero(), Fp6.one())
+        v = Fp12(Fp6(Fp2.zero(), Fp2.one(), Fp2.zero()), Fp6.zero())
+        assert w * w == v
+
+    @settings(max_examples=5)
+    @given(fp12_strategy)
+    def test_inverse(self, a):
+        if a.is_zero():
+            return
+        assert a * a.inverse() == Fp12.one()
+
+    def test_square_matches_mul(self):
+        a = rand_fp12(list(range(2, 14)))
+        assert a.square() == a * a
+
+    def test_frobenius_matches_p_power(self):
+        a = rand_fp12([5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3])
+        assert a.frobenius() == a**P
+
+    def test_frobenius2_matches(self):
+        a = rand_fp12(list(range(1, 13)))
+        assert a.frobenius2() == a.frobenius().frobenius()
+
+    def test_frobenius_constant(self):
+        assert FROB12_C1 == XI ** ((P - 1) // 6)
+
+    def test_conjugate_inverts_cyclotomic(self):
+        # After the easy part of the final exponentiation, elements lie in
+        # the cyclotomic subgroup where conjugation equals inversion.
+        a = rand_fp12(list(range(3, 15)))
+        easy = a.conjugate() * a.inverse()
+        easy = easy.frobenius2() * easy
+        assert easy * easy.conjugate() == Fp12.one()
+
+    def test_pow_laws(self):
+        a = rand_fp12([2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5])
+        assert a**5 == a * a * a * a * a
+        assert a**0 == Fp12.one()
+
+    def test_to_bytes_stable(self):
+        a = rand_fp12(list(range(12)))
+        assert len(a.to_bytes()) == 384
+        assert a.to_bytes() == a.to_bytes()
+
+    def test_from_int(self):
+        assert Fp12.from_int(1) == Fp12.one()
+        assert Fp12.from_int(0).is_zero()

@@ -1,0 +1,107 @@
+"""Optimal ate pairing: bilinearity, non-degeneracy, batch checks."""
+
+import pytest
+
+from repro.groups.bn254 import bn254_pairing, pairing, pairing_check
+from repro.groups.bn254.fp import Fp12, P, R
+from repro.groups.bn254.pairing import ATE_LOOP_COUNT, BN_X, _final_exponentiation, _miller_loop
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    bilinear = bn254_pairing()
+    e = bilinear.pair(bilinear.g1.generator(), bilinear.g2.generator())
+    return bilinear, e
+
+
+class TestPairing:
+    def test_loop_count(self):
+        assert ATE_LOOP_COUNT == 6 * BN_X + 2
+
+    def test_non_degenerate(self, ctx):
+        _, e = ctx
+        assert not e.is_one()
+        assert not e.is_zero()
+
+    def test_output_in_order_r_subgroup(self, ctx):
+        _, e = ctx
+        assert (e**R).is_one()
+
+    def test_bilinear_in_g1(self, ctx):
+        bilinear, e = ctx
+        p2 = bilinear.g1.generator() ** 2
+        assert bilinear.pair(p2, bilinear.g2.generator()) == e * e
+
+    def test_bilinear_in_g2(self, ctx):
+        bilinear, e = ctx
+        q3 = bilinear.g2.generator() ** 3
+        assert bilinear.pair(bilinear.g1.generator(), q3) == e**3
+
+    def test_full_bilinearity(self, ctx):
+        bilinear, e = ctx
+        a, b = 1234567, 7654321
+        lhs = bilinear.pair(
+            bilinear.g1.generator() ** a, bilinear.g2.generator() ** b
+        )
+        assert lhs == e ** ((a * b) % R)
+
+    def test_inverse_relation(self, ctx):
+        bilinear, e = ctx
+        inv = bilinear.pair(
+            bilinear.g1.generator().inverse(), bilinear.g2.generator()
+        )
+        assert (e * inv).is_one()
+
+    def test_identity_inputs(self, ctx):
+        bilinear, _ = ctx
+        assert bilinear.pair(
+            bilinear.g1.identity(), bilinear.g2.generator()
+        ).is_one()
+        assert bilinear.pair(
+            bilinear.g1.generator(), bilinear.g2.identity()
+        ).is_one()
+
+    def test_deterministic(self, ctx):
+        bilinear, e = ctx
+        assert bilinear.pair(bilinear.g1.generator(), bilinear.g2.generator()) == e
+
+
+class TestPairingCheck:
+    def test_cancelling_product(self, ctx):
+        bilinear, _ = ctx
+        p = bilinear.g1.generator() ** 5
+        q = bilinear.g2.generator() ** 9
+        assert pairing_check([(p, q), (p.inverse(), q)])
+
+    def test_non_cancelling_product(self, ctx):
+        bilinear, _ = ctx
+        p = bilinear.g1.generator()
+        q = bilinear.g2.generator()
+        assert not pairing_check([(p, q), (p, q)])
+
+    def test_empty_product_is_one(self):
+        assert pairing_check([])
+
+    def test_bls_style_equation(self, ctx):
+        # e(σ, g2) == e(H, y) with σ = H^x, y = g2^x.
+        bilinear, _ = ctx
+        x = 0xDEADBEEF
+        h = bilinear.g1.hash_to_element(b"msg")
+        sigma = h**x
+        y = bilinear.g2.generator() ** x
+        assert pairing_check(
+            [(sigma, bilinear.g2.generator()), (h.inverse(), y)]
+        )
+
+
+class TestFinalExponentiation:
+    def test_matches_naive_exponent(self, ctx):
+        """The DSD addition chain equals the plain (p¹²−1)/r power (slow)."""
+        bilinear, _ = ctx
+        f = _miller_loop(bilinear.g2.generator(), bilinear.g1.generator())
+        fast = _final_exponentiation(f)
+        naive = f ** ((P**12 - 1) // R)
+        assert fast == naive
+
+    def test_one_maps_to_one(self):
+        assert _final_exponentiation(Fp12.one()).is_one()

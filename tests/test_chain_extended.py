@@ -1,0 +1,146 @@
+"""Chain host platform: mixed blocks, multi-block flows, Θ-signed checkpoints."""
+
+import asyncio
+
+import pytest
+
+from repro.chain import Transaction, ValidatorNode, block_hash
+from repro.network.local import LocalHub
+
+
+def _chain(n=4, decryptor=None):
+    hub = LocalHub(latency=lambda a, b: 0.001)
+    validators = [
+        ValidatorNode(i, n, hub.endpoint(i), decryptor=decryptor)
+        for i in range(1, n + 1)
+    ]
+    return hub, validators
+
+
+@pytest.mark.integration
+class TestMixedBlocks:
+    def test_plain_and_encrypted_in_one_block(self, keys_sg02):
+        async def scenario():
+            from repro.schemes import get_scheme
+
+            cipher = get_scheme("sg02")
+            shares = keys_sg02.key_shares
+
+            async def local_decryptor(ciphertext_bytes: bytes) -> bytes:
+                ciphertext = __import__(
+                    "repro.schemes.sg02", fromlist=["Sg02Ciphertext"]
+                ).Sg02Ciphertext.from_bytes(
+                    ciphertext_bytes, keys_sg02.public_key.group
+                )
+                dec = [
+                    cipher.create_decryption_share(shares[i], ciphertext)
+                    for i in (0, 1)
+                ]
+                return cipher.combine(keys_sg02.public_key, ciphertext, dec)
+
+            hub, validators = _chain(3, decryptor=local_decryptor)
+            for validator in validators:
+                await validator.start()
+            try:
+                validators[0].submit_transaction(
+                    Transaction("f", b"mint alice 100")
+                )
+                hidden = cipher.encrypt(
+                    keys_sg02.public_key, b"transfer alice bob 60", b""
+                ).to_bytes()
+                validators[0].submit_transaction(
+                    Transaction("alice", hidden, encrypted=True)
+                )
+                await validators[0].propose()
+                await asyncio.gather(*(v.await_height(1) for v in validators))
+                assert all(
+                    v.state.balances == {"alice": 40, "bob": 60}
+                    for v in validators
+                )
+            finally:
+                for validator in validators:
+                    await validator.stop()
+
+        asyncio.run(scenario())
+
+    def test_failed_decryption_skips_tx_but_chain_continues(self):
+        async def scenario():
+            async def broken_decryptor(ciphertext: bytes) -> bytes:
+                raise RuntimeError("theta unavailable")
+
+            hub, validators = _chain(2, decryptor=broken_decryptor)
+            for validator in validators:
+                await validator.start()
+            try:
+                validators[0].submit_transaction(
+                    Transaction("u", b"garbage", encrypted=True)
+                )
+                validators[0].submit_transaction(Transaction("f", b"mint ok 1"))
+                await validators[0].propose()
+                await asyncio.gather(*(v.await_height(1) for v in validators))
+                for validator in validators:
+                    assert validator.state.balances == {"ok": 1}
+                    assert len(validator.state.rejected) == 1
+            finally:
+                for validator in validators:
+                    await validator.stop()
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestMultiBlockFlows:
+    def test_ten_blocks_stay_consistent(self):
+        async def scenario():
+            hub, validators = _chain(4)
+            for validator in validators:
+                await validator.start()
+            try:
+                for height in range(1, 11):
+                    proposer = validators[height % 4]
+                    proposer.submit_transaction(
+                        Transaction("f", b"mint acct%d %d" % (height, height))
+                    )
+                    await proposer.propose()
+                await asyncio.gather(*(v.await_height(10) for v in validators))
+                heads = {block_hash(v.head()) for v in validators}
+                roots = {v.state_root() for v in validators}
+                assert len(heads) == 1 and len(roots) == 1
+                assert validators[0].state.balances["acct7"] == 7
+            finally:
+                for validator in validators:
+                    await validator.stop()
+
+        asyncio.run(scenario())
+
+    def test_checkpoint_signed_by_theta(self, keys_bls04):
+        """A BLS-certified state checkpoint: chain + Θ working together."""
+
+        async def scenario():
+            from repro.schemes import get_scheme
+
+            hub, validators = _chain(4)
+            for validator in validators:
+                await validator.start()
+            try:
+                validators[0].submit_transaction(Transaction("f", b"mint a 5"))
+                await validators[0].propose()
+                await asyncio.gather(*(v.await_height(1) for v in validators))
+                checkpoint = validators[0].state_root()
+                scheme = get_scheme("bls04")
+                partials = [
+                    scheme.partial_sign(keys_bls04.share_for(i), checkpoint)
+                    for i in (1, 3)
+                ]
+                certificate = scheme.combine(
+                    keys_bls04.public_key, checkpoint, partials
+                )
+                # Any light client can verify the certified checkpoint.
+                scheme.verify(keys_bls04.public_key, checkpoint, certificate)
+                # And it certifies THE state every replica computed.
+                assert all(v.state_root() == checkpoint for v in validators)
+            finally:
+                for validator in validators:
+                    await validator.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,119 @@
+"""Extensions: signature-based coin (CKS05 construction 1), fault injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidShareError
+from repro.schemes.cks05_sig import SignatureCoin
+from repro.sim.cluster import SimulatedThetaNetwork
+from repro.sim.deployments import Deployment
+from repro.sim.latency import Region
+from repro.sim.workload import Workload
+
+TINY = Deployment("TINY-4-L", "tiny", 4, 1, (Region.FRA1,), 64)
+
+
+class TestSignatureCoin:
+    def test_rsa_coin_flow(self, keys_sh00):
+        coin = SignatureCoin("sh00")
+        name = b"sig-coin-1"
+        shares = [coin.create_coin_share(keys_sh00.share_for(i), name) for i in (1, 3)]
+        for share in shares:
+            coin.verify_coin_share(keys_sh00.public_key, name, share)
+        value = coin.combine(keys_sh00.public_key, name, shares)
+        assert len(value) == 32
+
+    def test_uniqueness_across_quorums(self, keys_sh00):
+        coin = SignatureCoin("sh00")
+        name = b"sig-coin-2"
+        value_a = coin.combine(
+            keys_sh00.public_key,
+            name,
+            [coin.create_coin_share(keys_sh00.share_for(i), name) for i in (1, 2)],
+        )
+        value_b = coin.combine(
+            keys_sh00.public_key,
+            name,
+            [coin.create_coin_share(keys_sh00.share_for(i), name) for i in (3, 4)],
+        )
+        assert value_a == value_b
+
+    def test_bls_variant(self, keys_bls04):
+        coin = SignatureCoin("bls04")
+        name = b"bls-coin"
+        value_a = coin.combine(
+            keys_bls04.public_key,
+            name,
+            [coin.create_coin_share(keys_bls04.share_for(i), name) for i in (1, 2)],
+        )
+        value_b = coin.combine(
+            keys_bls04.public_key,
+            name,
+            [coin.create_coin_share(keys_bls04.share_for(i), name) for i in (2, 4)],
+        )
+        assert value_a == value_b
+
+    def test_different_names_differ(self, keys_sh00):
+        coin = SignatureCoin("sh00")
+        values = set()
+        for name in (b"a", b"b", b"c"):
+            shares = [
+                coin.create_coin_share(keys_sh00.share_for(i), name) for i in (1, 2)
+            ]
+            values.add(coin.combine(keys_sh00.public_key, name, shares))
+        assert len(values) == 3
+
+    def test_bad_share_rejected(self, keys_sh00):
+        coin = SignatureCoin("sh00")
+        share = coin.create_coin_share(keys_sh00.share_for(1), b"n1")
+        with pytest.raises(InvalidShareError):
+            coin.verify_coin_share(keys_sh00.public_key, b"n2", share)
+
+    def test_schnorr_base_rejected(self):
+        # FROST signatures are randomized, hence not unique, hence unusable.
+        with pytest.raises(ValueError):
+            SignatureCoin("kg20")
+
+    def test_metadata(self):
+        coin = SignatureCoin("sh00")
+        assert coin.info.kind.value == "randomness"
+        assert coin.info.hardness == "RSA"
+
+    def test_coin_bit(self):
+        assert SignatureCoin.coin_bit(b"\x03" + bytes(31)) == 1
+
+
+class TestSimulatedCrashFaults:
+    def test_noninteractive_tolerates_t_crashes(self):
+        # n=4, t=1: one dead node, every live node still reaches quorum 2.
+        net = SimulatedThetaNetwork(TINY, "sg02", crashed_nodes={4})
+        result = net.run(Workload(rate=2, duration=2))
+        live_samples = [s for s in result.samples if s is not None]
+        assert all(s.node_id != 4 for s in live_samples)
+        assert all(s.finished_at is not None for s in live_samples)
+        assert len(result.request_first_finish) == 4  # all requests done
+
+    def test_crash_beyond_threshold_stalls_everything(self):
+        # 3 of 4 dead < quorum 2 live... 1 live node has only its own share.
+        net = SimulatedThetaNetwork(TINY, "sg02", crashed_nodes={2, 3, 4})
+        result = net.run(Workload(rate=2, duration=1))
+        assert result.request_first_finish == {}
+        assert all(s.finished_at is None for s in result.samples)
+
+    def test_kg20_stalls_on_any_crash(self):
+        # FROST's fixed signing group waits for all n members (§4.5); a
+        # single crash blocks termination — the scheme is not robust.
+        net = SimulatedThetaNetwork(TINY, "kg20", crashed_nodes={3})
+        result = net.run(Workload(rate=1, duration=1))
+        assert result.request_first_finish == {}
+
+    def test_crash_reduces_load_on_survivors(self):
+        healthy = SimulatedThetaNetwork(TINY, "bls04").run(Workload(rate=8, duration=2))
+        degraded = SimulatedThetaNetwork(TINY, "bls04", crashed_nodes={4}).run(
+            Workload(rate=8, duration=2)
+        )
+        # Fewer peers → fewer shares to verify → lower CPU utilization.
+        assert degraded.cpu_utilization[1] < healthy.cpu_utilization[1]
+
+    def test_invalid_crash_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedThetaNetwork(TINY, "sg02", crashed_nodes={9})

@@ -1,0 +1,82 @@
+"""Chaum–Pedersen DLEQ proofs: soundness knobs and serialization."""
+
+import pytest
+
+from repro.errors import InvalidProofError
+from repro.groups import get_group
+from repro.schemes.dleq import DleqProof, dleq_prove, dleq_verify
+
+
+@pytest.fixture(scope="module")
+def setup():
+    group = get_group("ed25519")
+    g1 = group.generator()
+    g2 = group.hash_to_element(b"second base")
+    x = group.random_scalar()
+    return group, g1, g2, x
+
+
+def test_honest_proof_verifies(setup):
+    group, g1, g2, x = setup
+    proof = dleq_prove(group, g1, g2, x)
+    dleq_verify(group, g1, g1**x, g2, g2**x, proof)
+
+
+def test_context_binding(setup):
+    group, g1, g2, x = setup
+    proof = dleq_prove(group, g1, g2, x, context=b"ctx-a")
+    dleq_verify(group, g1, g1**x, g2, g2**x, proof, context=b"ctx-a")
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1**x, g2, g2**x, proof, context=b"ctx-b")
+
+
+def test_wrong_statement_rejected(setup):
+    group, g1, g2, x = setup
+    proof = dleq_prove(group, g1, g2, x)
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1 ** (x + 1), g2, g2**x, proof)
+
+
+def test_unequal_exponents_rejected(setup):
+    group, g1, g2, x = setup
+    # h1 = g1^x but h2 = g2^(x+5): not a DLEQ statement.
+    proof = dleq_prove(group, g1, g2, x)
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1**x, g2, g2 ** (x + 5), proof)
+
+
+def test_tampered_challenge_rejected(setup):
+    group, g1, g2, x = setup
+    proof = dleq_prove(group, g1, g2, x)
+    bad = DleqProof((proof.challenge + 1) % group.order, proof.response)
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1**x, g2, g2**x, bad)
+
+
+def test_tampered_response_rejected(setup):
+    group, g1, g2, x = setup
+    proof = dleq_prove(group, g1, g2, x)
+    bad = DleqProof(proof.challenge, (proof.response + 1) % group.order)
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1**x, g2, g2**x, bad)
+
+
+def test_out_of_range_values_rejected(setup):
+    group, g1, g2, x = setup
+    bad = DleqProof(group.order, 0)
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1**x, g2, g2**x, bad)
+
+
+def test_serialization_round_trip(setup):
+    group, g1, g2, x = setup
+    proof = dleq_prove(group, g1, g2, x)
+    assert DleqProof.from_bytes(proof.to_bytes()) == proof
+
+
+def test_proof_transfers_between_statements_fails(setup):
+    group, g1, g2, x = setup
+    y = group.random_scalar()
+    proof_x = dleq_prove(group, g1, g2, x)
+    with pytest.raises(InvalidProofError):
+        dleq_verify(group, g1, g1**y, g2, g2**y, proof_x)

@@ -1,0 +1,33 @@
+"""Every example must run to completion as a real subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_directory_has_the_promised_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # deliverable: at least three runnable examples
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    root = pathlib.Path(__file__).parent.parent
+    result = subprocess.run(
+        [sys.executable, str(root / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=root,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

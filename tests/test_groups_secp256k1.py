@@ -1,0 +1,141 @@
+"""secp256k1 backend + cross-curve scheme portability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.groups import get_group, list_groups
+from repro.groups.secp256k1 import N, P, secp256k1
+
+scalars = st.integers(min_value=1, max_value=N - 1)
+
+
+@pytest.fixture(scope="module")
+def group():
+    return secp256k1()
+
+
+class TestCurve:
+    def test_registered(self):
+        assert "secp256k1" in list_groups()
+        assert get_group("secp256k1") is secp256k1()
+
+    def test_generator_on_curve(self, group):
+        x, y = group.generator().affine()
+        assert (y * y - x * x * x - 7) % P == 0
+
+    def test_generator_order(self, group):
+        g = group.generator()
+        assert (g**5 * g ** (N - 5)).is_infinity()
+
+    def test_known_multiple(self, group):
+        # 2·G from the SEC2 test vectors.
+        x, _ = (group.generator() ** 2).affine()
+        assert x == 0xC6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5
+
+    @settings(max_examples=8)
+    @given(scalars, scalars)
+    def test_exponent_addition(self, a, b):
+        group = secp256k1()
+        g = group.generator()
+        assert (g**a) * (g**b) == g ** ((a + b) % N)
+
+    def test_inverse(self, group):
+        g = group.generator() ** 1234
+        assert (g * g.inverse()).is_infinity()
+
+
+class TestEncoding:
+    def test_compressed_round_trip(self, group):
+        for scalar in (1, 2, 31337, N - 1):
+            point = group.generator() ** scalar
+            restored = group.element_from_bytes(point.to_bytes())
+            assert restored == point
+            assert len(point.to_bytes()) == 33
+
+    def test_generator_sec1_vector(self, group):
+        assert group.generator().to_bytes().hex() == (
+            "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"
+        )
+
+    def test_identity_round_trip(self, group):
+        assert group.element_from_bytes(bytes(33)).is_infinity()
+
+    def test_bad_prefix_rejected(self, group):
+        with pytest.raises(SerializationError):
+            group.element_from_bytes(b"\x05" + bytes(32))
+
+    def test_off_curve_rejected(self, group):
+        # x = 0 gives y² = 7, a non-residue mod p.
+        with pytest.raises(SerializationError):
+            group.element_from_bytes(b"\x02" + bytes(32))
+
+    def test_wrong_length_rejected(self, group):
+        with pytest.raises(SerializationError):
+            group.element_from_bytes(bytes(32))
+
+
+class TestHashToCurve:
+    def test_deterministic_and_valid(self, group):
+        h = group.hash_to_element(b"btc")
+        assert h == group.hash_to_element(b"btc")
+        x, y = h.affine()
+        assert (y * y - x * x * x - 7) % P == 0
+
+
+class TestSchemePortability:
+    """The §3.5 promise: new group, zero scheme changes."""
+
+    def test_cks05_on_secp256k1(self):
+        from repro.schemes import cks05, get_scheme
+
+        public, shares = cks05.keygen(1, 4, group_name="secp256k1")
+        coin = get_scheme("cks05")
+        cs = [coin.create_coin_share(shares[i], b"btc-coin") for i in (0, 2)]
+        for share in cs:
+            coin.verify_coin_share(public, b"btc-coin", share)
+        value_a = coin.combine(public, b"btc-coin", cs)
+        other = [coin.create_coin_share(shares[i], b"btc-coin") for i in (1, 3)]
+        assert coin.combine(public, b"btc-coin", other) == value_a
+
+    def test_sg02_on_secp256k1(self):
+        from repro.schemes import get_scheme, sg02
+
+        public, shares = sg02.keygen(1, 4, group_name="secp256k1")
+        cipher = get_scheme("sg02")
+        ct = cipher.encrypt(public, b"cross-curve secret", b"l")
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 3)]
+        for share in dec:
+            cipher.verify_decryption_share(public, ct, share)
+        assert cipher.combine(public, ct, dec) == b"cross-curve secret"
+
+    def test_kg20_on_secp256k1(self):
+        """FROST over secp256k1 — a taproot-style threshold Schnorr."""
+        from repro.schemes import get_scheme, kg20
+
+        public, shares = kg20.keygen(1, 4, group_name="secp256k1")
+        scheme = get_scheme("kg20")
+        ids = [1, 4]
+        nonces = {i: scheme.commit(shares[i - 1]) for i in ids}
+        commitments = [nonces[i][1] for i in ids]
+        z = [
+            scheme.sign_round(shares[i - 1], b"taproot", nonces[i][0], commitments)
+            for i in ids
+        ]
+        signature = scheme.combine(public, b"taproot", z, commitments)
+        scheme.verify(public, b"taproot", signature)
+
+    def test_dkg_on_secp256k1(self):
+        from repro.schemes.dkg import dkg_all_parties
+
+        results = dkg_all_parties(1, 4, group_name="secp256k1")
+        assert len({r.group_key.to_bytes() for r in results}) == 1
+
+    def test_serialization_round_trips_via_registry(self):
+        from repro.schemes import cks05
+
+        public, _ = cks05.keygen(1, 4, group_name="secp256k1")
+        restored = cks05.Cks05PublicKey.from_bytes(public.to_bytes())
+        assert restored.group_name == "secp256k1"
+        assert restored.h == public.h

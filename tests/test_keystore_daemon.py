@@ -1,0 +1,161 @@
+"""Keystore serialization and the standalone-daemon deployment path."""
+
+import asyncio
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.schemes import generate_keys, get_scheme
+from repro.schemes.keystore import (
+    export_key_share,
+    export_public_key,
+    import_key_share,
+    import_public_key,
+    keystore_from_json,
+    keystore_to_json,
+    node_keystore,
+)
+
+
+class TestKeyShareSerialization:
+    @pytest.mark.parametrize("scheme", ["sg02", "bls04", "kg20", "cks05", "bz03"])
+    def test_round_trip(self, scheme):
+        km = generate_keys(scheme, 1, 4)
+        blob = export_key_share(scheme, km.share_for(2))
+        restored_scheme, share = import_key_share(blob)
+        assert restored_scheme == scheme
+        assert share.id == 2
+        assert share.value == km.share_for(2).value
+        assert share.public.to_bytes() == km.public_key.to_bytes()
+
+    def test_sh00_round_trip(self, keys_sh00):
+        blob = export_key_share("sh00", keys_sh00.share_for(1))
+        scheme, share = import_key_share(blob)
+        assert scheme == "sh00"
+        assert share.public.n == keys_sh00.public_key.n
+
+    def test_restored_share_is_usable(self, keys_bls04):
+        blob = export_key_share("bls04", keys_bls04.share_for(1))
+        _, share = import_key_share(blob)
+        scheme = get_scheme("bls04")
+        partial = scheme.partial_sign(share, b"from restored share")
+        scheme.verify_signature_share(keys_bls04.public_key, b"from restored share", partial)
+
+    def test_public_key_round_trip(self, keys_sg02):
+        blob = export_public_key("sg02", keys_sg02.public_key)
+        scheme, public = import_public_key(blob)
+        assert scheme == "sg02"
+        # A client holding only the public part can encrypt.
+        cipher = get_scheme("sg02")
+        ct = cipher.encrypt(public, b"client-side", b"l")
+        cipher.verify_ciphertext(keys_sg02.public_key, ct)
+
+    def test_unknown_scheme_rejected(self, keys_bls04):
+        from repro.errors import KeyManagementError
+
+        with pytest.raises(KeyManagementError):
+            export_key_share("nope", keys_bls04.share_for(1))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            import_key_share(b"\x00\x01\x02")
+
+
+class TestKeystoreDocument:
+    def test_round_trip(self, keys_bls04, keys_cks05):
+        doc = keystore_to_json(
+            {
+                "sig": ("bls04", keys_bls04.share_for(3)),
+                "coin": ("cks05", keys_cks05.share_for(3)),
+            }
+        )
+        restored = keystore_from_json(doc)
+        assert set(restored) == {"sig", "coin"}
+        assert restored["sig"][0] == "bls04"
+        assert restored["sig"][1].id == 3
+
+    def test_node_keystore_selects_right_share(self, keys_bls04):
+        doc = node_keystore({"sig": keys_bls04}, node_id=2)
+        restored = keystore_from_json(doc)
+        assert restored["sig"][1].id == 2
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            keystore_from_json("{not json")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializationError):
+            keystore_from_json(json.dumps({"version": 9, "keys": {}}))
+
+
+@pytest.mark.integration
+def test_daemon_deployment_end_to_end(tmp_path):
+    """Deal keys with the CLI, start real daemon processes, sign over TCP."""
+    deal = subprocess.run(
+        [
+            sys.executable,
+            "tools/deal_keys.py",
+            "--parties", "4",
+            "--threshold", "1",
+            "--schemes", "bls04,cks05",
+            "--base-port", "19700",
+            "--rpc-base-port", "19800",
+            "--out", str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert deal.returncode == 0, deal.stderr
+    assert (tmp_path / "public_keys.json").exists()
+
+    daemons = []
+    try:
+        for node_id in range(1, 5):
+            daemons.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.service.daemon",
+                        "--config", str(tmp_path / f"node{node_id}" / "config.json"),
+                        "--keystore", str(tmp_path / f"node{node_id}" / "keystore.json"),
+                    ],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+
+        async def drive():
+            from repro.errors import RpcError
+            from repro.service.client import ThetacryptClient
+
+            client = ThetacryptClient(
+                {i: ("127.0.0.1", 19800 + i) for i in range(1, 5)}
+            )
+            # Daemons need a moment to bind their sockets (longer when the
+            # machine is busy running other suites).
+            for node_id in range(1, 5):
+                for attempt in range(150):
+                    try:
+                        await client.call(node_id, "ping", {})
+                        break
+                    except (OSError, RpcError):
+                        await asyncio.sleep(0.2)
+                else:
+                    raise AssertionError(f"daemon {node_id} never came up")
+            signature = await client.sign("bls04", b"daemon-signed")
+            assert await client.verify_signature("bls04", b"daemon-signed", signature)
+            coin = await client.flip_coin("cks05", b"daemon-coin")
+            assert len(coin) == 32
+            await client.close()
+
+        asyncio.run(drive())
+    finally:
+        for daemon in daemons:
+            daemon.terminate()
+        for daemon in daemons:
+            daemon.wait(timeout=10)

@@ -1,0 +1,127 @@
+"""Knee detection on saturated systems; transport fault edge cases."""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.groups import get_group
+from repro.network.tcp import TcpP2P
+from repro.sim.metrics import ExperimentMetrics, find_knee, usable_capacity
+
+
+def _point(rate, tput, l95, offered=100, completed=100):
+    return ExperimentMetrics(
+        "s", "d", rate, 256, offered, completed, tput, l95, l95,
+        l95, l95, l95, 0.0, 1.0, 0.5, 0.5,
+    )
+
+
+class TestKneeDetection:
+    def test_saturated_points_excluded(self):
+        # Rate 32's huge ratio is measurement noise: it completed only 10%.
+        points = [
+            _point(1, 1, 0.01),
+            _point(2, 2, 0.012),
+            _point(32, 30, 0.004, offered=100, completed=10),
+        ]
+        assert find_knee(points).rate == 2
+
+    def test_fully_saturated_degenerates_to_lowest_rate(self):
+        # SH00 on DO-127: nothing keeps up; the paper reports knee = 1.
+        points = [
+            _point(1, 0.6, 4.8, offered=48, completed=29),
+            _point(2, 0.4, 4.9, offered=48, completed=20),
+            _point(4, 0.6, 9.5, offered=48, completed=28),
+        ]
+        assert find_knee(points).rate == 1
+
+    def test_healthy_sweep_unchanged(self):
+        points = [_point(1, 1, 0.01), _point(2, 2, 0.011), _point(4, 3, 0.1)]
+        assert find_knee(points).rate == 2
+
+    def test_usable_capacity_is_max_throughput(self):
+        points = [_point(1, 1, 0.01), _point(4, 3.9, 0.02), _point(8, 3.2, 0.4)]
+        assert usable_capacity(points).rate == 4
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=6, unique=True))
+    def test_knee_always_among_inputs(self, rates):
+        points = [_point(r, r, 0.01 * r) for r in rates]
+        assert find_knee(points).rate in rates
+
+
+@pytest.mark.integration
+class TestTcpFaults:
+    def test_send_to_dead_peer_does_not_raise(self, monkeypatch):
+        """The model assumes reliable channels; a dead peer is tolerated
+        by the protocol layer (≤ t faults), so send must not blow up."""
+        import repro.network.tcp as tcp_module
+
+        monkeypatch.setattr(tcp_module, "_DIAL_RETRIES", 2)
+        monkeypatch.setattr(tcp_module, "_DIAL_BACKOFF", 0.05)
+
+        async def scenario():
+            node = TcpP2P(1, "127.0.0.1", 19901, {2: ("127.0.0.1", 19999)})
+            await node.start()
+            try:
+                await node.send(2, b"into the void")  # nobody listens on 19999
+            finally:
+                await node.stop()
+
+        asyncio.run(scenario())
+
+    def test_late_starting_peer_gets_messages(self):
+        """Dial retry: node 1 sends before node 2's listener exists."""
+
+        async def scenario():
+            received = []
+            node1 = TcpP2P(1, "127.0.0.1", 19903, {2: ("127.0.0.1", 19904)})
+            await node1.start()
+            send_task = asyncio.ensure_future(node1.send(2, b"early bird"))
+            await asyncio.sleep(0.3)  # node 2 not up yet; dialing retries
+            node2 = TcpP2P(2, "127.0.0.1", 19904, {1: ("127.0.0.1", 19903)})
+
+            async def handler(sender, data):
+                received.append((sender, data))
+
+            node2.set_handler(handler)
+            await node2.start()
+            await send_task
+            await asyncio.sleep(0.2)
+            try:
+                assert received == [(1, b"early bird")]
+            finally:
+                await node1.stop()
+                await node2.stop()
+
+        asyncio.run(scenario())
+
+
+class TestEd25519DecodeFuzz:
+    @settings(max_examples=60)
+    @given(st.binary(min_size=32, max_size=32))
+    def test_decode_is_total_and_canonical(self, data):
+        from repro.errors import SerializationError
+
+        group = get_group("ed25519")
+        try:
+            point = group.element_from_bytes(data)
+        except SerializationError:
+            return
+        assert point.to_bytes() == data
+
+
+class TestBn254DecodeFuzz:
+    @settings(max_examples=25)
+    @given(st.binary(min_size=64, max_size=64))
+    def test_g1_decode_total(self, data):
+        from repro.errors import SerializationError
+        from repro.groups.bn254 import bn254_g1
+
+        try:
+            point = bn254_g1().element_from_bytes(data)
+        except SerializationError:
+            return
+        assert point.to_bytes() == data

@@ -1,0 +1,136 @@
+"""Coverage for the corners: bounded simulation, precompute aborts,
+fixture tooling, daemon loading, cross-group SG02, version metadata."""
+
+import asyncio
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.protocols import FrostPrecomputationPool, FrostPrecomputeProtocol
+from repro.errors import ProtocolAbortedError
+from repro.sim.cluster import SimulatedThetaNetwork
+from repro.sim.deployments import Deployment
+from repro.sim.latency import Region
+from repro.sim.workload import Workload
+
+TINY = Deployment("TINY-4-L", "tiny", 4, 1, (Region.FRA1,), 64)
+
+
+class TestBoundedSimulation:
+    def test_until_bound_stops_early(self):
+        net = SimulatedThetaNetwork(TINY, "sh00")
+        full = net.run(Workload(rate=200, duration=0.5, max_requests=100))
+        bounded = SimulatedThetaNetwork(TINY, "sh00").run(
+            Workload(rate=200, duration=0.5, max_requests=100), until=0.8
+        )
+        assert bounded.events < full.events
+        assert bounded.sim_time <= 0.8 + 1e-9
+
+    def test_bound_beyond_completion_is_harmless(self):
+        a = SimulatedThetaNetwork(TINY, "sg02").run(
+            Workload(rate=1, duration=1, seed=5)
+        )
+        b = SimulatedThetaNetwork(TINY, "sg02").run(
+            Workload(rate=1, duration=1, seed=5), until=1e9
+        )
+        assert len(a.request_first_finish) == len(b.request_first_finish)
+
+    def test_metrics_identical_within_horizon(self):
+        from repro.sim.metrics import summarize
+
+        workload = Workload(rate=8, duration=2, seed=9)
+        horizon = workload.effective_duration * 1.1
+        full = SimulatedThetaNetwork(TINY, "bls04").run(workload)
+        bounded = SimulatedThetaNetwork(TINY, "bls04").run(
+            Workload(rate=8, duration=2, seed=9), until=horizon + 0.25
+        )
+        m_full = summarize(full, TINY.quorum, TINY.parties)
+        m_bounded = summarize(bounded, TINY.quorum, TINY.parties)
+        assert m_full.l95 == pytest.approx(m_bounded.l95)
+        assert m_full.throughput == pytest.approx(m_bounded.throughput)
+
+
+class TestFrostPrecomputeAborts:
+    def test_wrong_batch_size_aborts(self, keys_kg20):
+        from repro.core.messages import Channel, ProtocolMessage
+
+        pool_a = FrostPrecomputationPool()
+        pool_b = FrostPrecomputationPool()
+        a = FrostPrecomputeProtocol("pre", keys_kg20.share_for(1), 3, pool_a)
+        b = FrostPrecomputeProtocol("pre", keys_kg20.share_for(2), 2, pool_b)
+        a.do_round()
+        messages = b.do_round()  # batch of 2 while A expects 3
+        with pytest.raises(ProtocolAbortedError):
+            a.update(messages[0])
+
+
+class TestFixtureTooling:
+    @pytest.mark.integration
+    def test_fixture_generator_produces_importable_module(self, tmp_path):
+        root = pathlib.Path(__file__).parent.parent
+        target = tmp_path / "src" / "repro" / "rsa"
+        target.mkdir(parents=True)
+        result = subprocess.run(
+            [sys.executable, str(root / "tools" / "gen_rsa_fixtures.py"), "64"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        text = (target / "fixtures.py").read_text()
+        namespace: dict = {}
+        exec(text, namespace)  # noqa: S102 - our own generated file
+        pairs = namespace["SAFE_PRIME_PAIRS"]
+        assert 64 in pairs
+        p, q = pairs[64]
+        from repro.mathutils.primes import is_probable_prime
+
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+
+class TestDaemonLoading:
+    def test_load_node_from_files(self, tmp_path, keys_cks05):
+        from repro.schemes.keystore import node_keystore
+        from repro.service.config import make_local_configs
+        from repro.service.daemon import load_node
+
+        config = make_local_configs(4, 1, base_port=19950, rpc_base_port=0)[0]
+        (tmp_path / "config.json").write_text(config.to_json())
+        (tmp_path / "keystore.json").write_text(
+            node_keystore({"coin": keys_cks05}, node_id=1)
+        )
+        node = load_node(
+            str(tmp_path / "config.json"), str(tmp_path / "keystore.json")
+        )
+        assert node.config.node_id == 1
+        assert "coin" in node.keys
+        assert node.keys.get("coin").key_share.id == 1
+
+
+class TestCrossGroupSg02:
+    def test_sg02_on_bn254_g1(self):
+        """SG02 over the pairing curve's G1 — a third group for the cipher."""
+        from repro.schemes import get_scheme, sg02
+
+        public, shares = sg02.keygen(1, 4, group_name="bn254g1")
+        cipher = get_scheme("sg02")
+        ct = cipher.encrypt(public, b"bn254 sg02", b"l")
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 2)]
+        assert cipher.combine(public, ct, dec) == b"bn254 sg02"
+
+
+class TestPackageMetadata:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_root_importable_from_top(self):
+        from repro import ThetacryptError
+        from repro.errors import RpcError
+
+        assert issubclass(RpcError, ThetacryptError)

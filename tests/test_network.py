@@ -1,0 +1,383 @@
+"""Network layer: local hub, TCP transport, gossip overlay, sequencer TOB."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import Channel, ProtocolMessage
+from repro.errors import ConfigurationError, NetworkError
+from repro.network.gossip import GossipOverlay, _overlay_neighbors
+from repro.network.local import LocalHub
+from repro.network.manager import NetworkManager
+from repro.network.tcp import TcpP2P
+from repro.network.tob import SequencerTob
+
+
+def collect_handler(store):
+    async def handler(sender, data):
+        store.append((sender, data))
+
+    return handler
+
+
+class TestLocalHub:
+    def test_send_and_broadcast(self):
+        async def scenario():
+            hub = LocalHub()
+            endpoints = {i: hub.endpoint(i) for i in (1, 2, 3)}
+            received = {i: [] for i in endpoints}
+            for i, ep in endpoints.items():
+                ep.set_handler(collect_handler(received[i]))
+            await endpoints[1].send(2, b"direct")
+            await endpoints[1].broadcast(b"flood")
+            await hub.drain()
+            assert (1, b"direct") in received[2]
+            assert (1, b"flood") in received[2]
+            assert (1, b"flood") in received[3]
+            assert received[1] == []  # no self-delivery
+
+        asyncio.run(scenario())
+
+    def test_latency_injection_orders_delivery(self):
+        async def scenario():
+            # 1→2 is slow, 1→3 fast: 3 must receive first.
+            hub = LocalHub(latency=lambda a, b: 0.05 if b == 2 else 0.001)
+            order = []
+
+            async def make(i):
+                async def handler(sender, data):
+                    order.append(i)
+
+                return handler
+
+            for i in (1, 2, 3):
+                hub.endpoint(i)
+            hub.endpoint(2).set_handler(collect_handler([]) if False else None)
+
+            async def record(i):
+                async def handler(sender, data):
+                    order.append(i)
+
+                hub.endpoint(i).set_handler(handler)
+
+            await record(2)
+            await record(3)
+            await hub.endpoint(1).broadcast(b"x")
+            await hub.drain()
+            assert order == [3, 2]
+
+        asyncio.run(scenario())
+
+    def test_drop_link_fault_injection(self):
+        async def scenario():
+            hub = LocalHub()
+            received = []
+            hub.endpoint(1)
+            hub.endpoint(2).set_handler(collect_handler(received))
+            hub.drop_link(1, 2)
+            await hub.endpoint(1).send(2, b"lost")
+            await hub.drain()
+            assert received == []
+            hub.restore_link(1, 2)
+            await hub.endpoint(1).send(2, b"found")
+            await hub.drain()
+            assert received == [(1, b"found")]
+
+        asyncio.run(scenario())
+
+    def test_self_send_rejected(self):
+        async def scenario():
+            hub = LocalHub()
+            ep = hub.endpoint(1)
+            with pytest.raises(NetworkError):
+                await ep.send(1, b"me")
+
+        asyncio.run(scenario())
+
+    def test_peer_ids(self):
+        hub = LocalHub()
+        for i in (1, 2, 3):
+            hub.endpoint(i)
+        assert hub.endpoint(2).peer_ids() == [1, 3]
+
+
+@pytest.mark.integration
+class TestTcpTransport:
+    def test_bidirectional_exchange(self):
+        async def scenario():
+            peers = {1: ("127.0.0.1", 19401), 2: ("127.0.0.1", 19402)}
+            node1 = TcpP2P(1, "127.0.0.1", 19401, {2: peers[2]})
+            node2 = TcpP2P(2, "127.0.0.1", 19402, {1: peers[1]})
+            received1, received2 = [], []
+            node1.set_handler(collect_handler(received1))
+            node2.set_handler(collect_handler(received2))
+            await node1.start()
+            await node2.start()
+            try:
+                await node1.send(2, b"hello from 1")
+                await node2.send(1, b"hello from 2")
+                await asyncio.sleep(0.2)
+                assert received2 == [(1, b"hello from 1")]
+                assert received1 == [(2, b"hello from 2")]
+            finally:
+                await node1.stop()
+                await node2.stop()
+
+        asyncio.run(scenario())
+
+    def test_broadcast_and_large_frame(self):
+        async def scenario():
+            ports = {i: 19410 + i for i in (1, 2, 3)}
+            peers = {i: ("127.0.0.1", p) for i, p in ports.items()}
+            nodes = {
+                i: TcpP2P(i, "127.0.0.1", ports[i], {j: peers[j] for j in ports if j != i})
+                for i in ports
+            }
+            received = {i: [] for i in ports}
+            for i, node in nodes.items():
+                node.set_handler(collect_handler(received[i]))
+                await node.start()
+            try:
+                big = bytes(range(256)) * 1024  # 256 KiB
+                await nodes[1].broadcast(big)
+                await asyncio.sleep(0.3)
+                assert received[2] == [(1, big)]
+                assert received[3] == [(1, big)]
+            finally:
+                for node in nodes.values():
+                    await node.stop()
+
+        asyncio.run(scenario())
+
+    def test_unknown_peer_rejected(self):
+        async def scenario():
+            node = TcpP2P(1, "127.0.0.1", 19420, {})
+            with pytest.raises(NetworkError):
+                await node.send(9, b"x")
+
+        asyncio.run(scenario())
+
+
+class TestGossip:
+    def _hub_overlays(self, n, fanout=2):
+        hub = LocalHub()
+        overlays = {
+            i: GossipOverlay(hub.endpoint(i), fanout=fanout) for i in range(1, n + 1)
+        }
+        return hub, overlays
+
+    def test_neighbors_subset_and_symmetric_ring(self):
+        ids = list(range(1, 11))
+        for node in ids:
+            neighbors = _overlay_neighbors(ids, node, 4, seed=None)
+            assert node not in neighbors
+            assert len(neighbors) <= 4 or len(neighbors) <= len(ids) - 1
+
+    def test_small_network_is_full_mesh(self):
+        ids = [1, 2, 3]
+        assert _overlay_neighbors(ids, 1, 4, None) == {2, 3}
+
+    def test_broadcast_reaches_everyone(self):
+        async def scenario():
+            hub, overlays = self._hub_overlays(8, fanout=3)
+            received = {i: [] for i in overlays}
+            for i, overlay in overlays.items():
+                overlay.set_handler(collect_handler(received[i]))
+            await overlays[1].broadcast(b"gossip")
+            await hub.drain()
+            for i in range(2, 9):
+                assert received[i] == [(1, b"gossip")], f"node {i} missed it"
+            assert received[1] == []  # origin does not self-deliver
+
+        asyncio.run(scenario())
+
+    def test_no_duplicate_delivery(self):
+        async def scenario():
+            hub, overlays = self._hub_overlays(6, fanout=3)
+            received = {i: [] for i in overlays}
+            for i, overlay in overlays.items():
+                overlay.set_handler(collect_handler(received[i]))
+            for round_number in range(3):
+                await overlays[2].broadcast(b"msg-%d" % round_number)
+            await hub.drain()
+            for i in (1, 3, 4, 5, 6):
+                assert len(received[i]) == 3  # exactly once each
+
+        asyncio.run(scenario())
+
+    def test_directed_message_delivered_only_to_target(self):
+        async def scenario():
+            hub, overlays = self._hub_overlays(8, fanout=3)
+            received = {i: [] for i in overlays}
+            for i, overlay in overlays.items():
+                overlay.set_handler(collect_handler(received[i]))
+            await overlays[1].send(5, b"private")
+            await hub.drain()
+            assert received[5] == [(1, b"private")]
+            for i in (2, 3, 4, 6, 7, 8):
+                assert received[i] == []
+
+        asyncio.run(scenario())
+
+
+class TestSequencerTob:
+    def _network(self, n, block_interval=0.0):
+        hub = LocalHub()
+        tobs = {
+            i: SequencerTob(hub.endpoint(i), sequencer_id=1, block_interval=block_interval)
+            for i in range(1, n + 1)
+        }
+        return hub, tobs
+
+    def test_total_order_identical_everywhere(self):
+        async def scenario():
+            hub, tobs = self._network(4)
+            delivered = {i: [] for i in tobs}
+            for i, tob in tobs.items():
+                tob.set_handler(collect_handler(delivered[i]))
+            # Concurrent submissions from every node.
+            await asyncio.gather(
+                tobs[2].submit(b"from-2"),
+                tobs[3].submit(b"from-3"),
+                tobs[1].submit(b"from-1"),
+                tobs[4].submit(b"from-4"),
+            )
+            await hub.drain()
+            sequences = {i: [d for d in delivered[i]] for i in tobs}
+            reference = sequences[1]
+            assert len(reference) == 4
+            for i in (2, 3, 4):
+                assert sequences[i] == reference
+
+        asyncio.run(scenario())
+
+    def test_origin_attribution(self):
+        async def scenario():
+            hub, tobs = self._network(3)
+            delivered = []
+            tobs[2].set_handler(collect_handler(delivered))
+            tobs[1].set_handler(collect_handler([]))
+            tobs[3].set_handler(collect_handler([]))
+            await tobs[3].submit(b"payload")
+            await hub.drain()
+            assert delivered == [(3, b"payload")]
+
+        asyncio.run(scenario())
+
+    def test_block_batching_preserves_order(self):
+        async def scenario():
+            hub, tobs = self._network(3, block_interval=0.02)
+            delivered = {i: [] for i in tobs}
+            for i, tob in tobs.items():
+                tob.set_handler(collect_handler(delivered[i]))
+            for k in range(5):
+                await tobs[2].submit(b"m%d" % k)
+            await asyncio.sleep(0.1)
+            await hub.drain()
+            assert delivered[1] == delivered[2] == delivered[3]
+            assert len(delivered[1]) == 5
+
+        asyncio.run(scenario())
+
+
+class TestNetworkManager:
+    def test_dispatch_p2p_broadcast(self, keys_cks05):
+        async def scenario():
+            hub = LocalHub()
+            managers = {
+                i: NetworkManager(hub.endpoint(i), enable_tob=False)
+                for i in (1, 2, 3)
+            }
+            seen = {i: [] for i in managers}
+            for i, manager in managers.items():
+                async def handler(message, i=i):
+                    seen[i].append(message)
+
+                manager.set_protocol_handler(handler)
+            message = ProtocolMessage("inst", 1, 0, Channel.P2P, b"payload")
+            await managers[1].dispatch(message)
+            await hub.drain()
+            assert len(seen[2]) == 1 and len(seen[3]) == 1
+            assert seen[2][0].payload == b"payload"
+
+        asyncio.run(scenario())
+
+    def test_dispatch_directed(self):
+        async def scenario():
+            hub = LocalHub()
+            managers = {
+                i: NetworkManager(hub.endpoint(i), enable_tob=False)
+                for i in (1, 2, 3)
+            }
+            seen = {i: [] for i in managers}
+            for i, manager in managers.items():
+                async def handler(message, i=i):
+                    seen[i].append(message)
+
+                manager.set_protocol_handler(handler)
+            message = ProtocolMessage("inst", 1, 0, Channel.P2P, b"x", recipient=3)
+            await managers[1].dispatch(message)
+            await hub.drain()
+            assert seen[2] == [] and len(seen[3]) == 1
+
+        asyncio.run(scenario())
+
+    def test_dispatch_tob_delivers_in_same_order(self):
+        async def scenario():
+            hub = LocalHub()
+            managers = {
+                i: NetworkManager(hub.endpoint(i), enable_tob=True, sequencer_id=1)
+                for i in (1, 2, 3)
+            }
+            seen = {i: [] for i in managers}
+            for i, manager in managers.items():
+                async def handler(message, i=i):
+                    seen[i].append(message.payload)
+
+                manager.set_protocol_handler(handler)
+            await managers[2].dispatch(
+                ProtocolMessage("inst", 2, 0, Channel.TOB, b"a")
+            )
+            await managers[3].dispatch(
+                ProtocolMessage("inst", 3, 0, Channel.TOB, b"b")
+            )
+            await hub.drain()
+            assert seen[1] == seen[2] == seen[3]
+            assert sorted(seen[1]) == [b"a", b"b"]
+
+        asyncio.run(scenario())
+
+    def test_tob_unconfigured_raises(self):
+        async def scenario():
+            hub = LocalHub()
+            manager = NetworkManager(hub.endpoint(1), enable_tob=False)
+            with pytest.raises(ConfigurationError):
+                await manager.dispatch(
+                    ProtocolMessage("inst", 1, 0, Channel.TOB, b"x")
+                )
+
+        asyncio.run(scenario())
+
+    def test_gossip_transport_composition(self):
+        async def scenario():
+            hub = LocalHub()
+            managers = {
+                i: NetworkManager(
+                    hub.endpoint(i), enable_tob=False, gossip_fanout=2
+                )
+                for i in range(1, 7)
+            }
+            seen = {i: [] for i in managers}
+            for i, manager in managers.items():
+                async def handler(message, i=i):
+                    seen[i].append(message)
+
+                manager.set_protocol_handler(handler)
+            await managers[1].dispatch(
+                ProtocolMessage("inst", 1, 0, Channel.P2P, b"via gossip")
+            )
+            await hub.drain()
+            for i in range(2, 7):
+                assert len(seen[i]) == 1
+
+        asyncio.run(scenario())

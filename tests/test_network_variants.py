@@ -1,0 +1,193 @@
+"""Network-layer variants: TOB configurations, gossip under faults,
+service behavior with message loss, and mixed-channel deployments."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import Channel, ProtocolMessage
+from repro.network.gossip import GossipOverlay
+from repro.network.local import LocalHub
+from repro.network.manager import NetworkManager
+from repro.network.tob import SequencerTob
+from repro.schemes import generate_keys
+from repro.service import ThetacryptClient, ThetacryptNode, make_local_configs
+
+
+def collect_handler(store):
+    async def handler(sender, data):
+        store.append((sender, data))
+
+    return handler
+
+
+class TestTobVariants:
+    def test_non_default_sequencer(self):
+        async def scenario():
+            hub = LocalHub()
+            tobs = {
+                i: SequencerTob(hub.endpoint(i), sequencer_id=3)
+                for i in (1, 2, 3)
+            }
+            delivered = {i: [] for i in tobs}
+            for i, tob in tobs.items():
+                tob.set_handler(collect_handler(delivered[i]))
+            await tobs[1].submit(b"a")
+            await tobs[2].submit(b"b")
+            await hub.drain()
+            assert delivered[1] == delivered[2] == delivered[3]
+            assert len(delivered[1]) == 2
+            assert tobs[3].is_sequencer and not tobs[1].is_sequencer
+
+        asyncio.run(scenario())
+
+    def test_sequencer_self_submission_delivered_everywhere(self):
+        async def scenario():
+            hub = LocalHub()
+            tobs = {i: SequencerTob(hub.endpoint(i)) for i in (1, 2)}
+            delivered = {i: [] for i in tobs}
+            for i, tob in tobs.items():
+                tob.set_handler(collect_handler(delivered[i]))
+            await tobs[1].submit(b"from the sequencer itself")
+            await hub.drain()
+            assert delivered[1] == delivered[2] == [(1, b"from the sequencer itself")]
+
+        asyncio.run(scenario())
+
+    def test_many_messages_remain_totally_ordered(self):
+        async def scenario():
+            hub = LocalHub(latency=lambda a, b: 0.001 * ((a + b) % 3))
+            tobs = {i: SequencerTob(hub.endpoint(i)) for i in (1, 2, 3, 4)}
+            delivered = {i: [] for i in tobs}
+            for i, tob in tobs.items():
+                tob.set_handler(collect_handler(delivered[i]))
+            await asyncio.gather(
+                *(tobs[1 + (k % 4)].submit(b"m%02d" % k) for k in range(20))
+            )
+            await hub.drain()
+            reference = delivered[1]
+            assert len(reference) == 20
+            for i in (2, 3, 4):
+                assert delivered[i] == reference
+
+        asyncio.run(scenario())
+
+
+class TestGossipFaults:
+    def test_flooding_survives_dropped_links(self):
+        """Redundant gossip paths deliver around a broken link."""
+
+        async def scenario():
+            hub = LocalHub()
+            overlays = {
+                i: GossipOverlay(hub.endpoint(i), fanout=3) for i in range(1, 9)
+            }
+            received = {i: [] for i in overlays}
+            for i, overlay in overlays.items():
+                overlay.set_handler(collect_handler(received[i]))
+            # Cut several links out of node 1; the mesh has other routes.
+            neighbors = overlays[1].neighbors
+            hub.drop_link(1, neighbors[0])
+            await overlays[1].broadcast(b"resilient")
+            await hub.drain()
+            delivered_to = [i for i in range(2, 9) if received[i]]
+            assert len(delivered_to) == 7  # everyone still got it
+
+        asyncio.run(scenario())
+
+    def test_gossip_service_survives_one_crashed_node(self):
+        keys = generate_keys("cks05", 1, 6)
+
+        async def scenario():
+            configs = make_local_configs(
+                6, 1, transport="local", rpc_base_port=0, gossip_fanout=3
+            )
+            hub = LocalHub(latency=lambda a, b: 0.001)
+            nodes = []
+            for config in configs:
+                node = ThetacryptNode(config, transport=hub.endpoint(config.node_id))
+                node.install_key(
+                    "coin", keys.scheme, keys.public_key,
+                    keys.share_for(config.node_id),
+                )
+                await node.start()
+                nodes.append(node)
+            try:
+                await nodes[5].stop()  # crash node 6 (a gossip relay)
+                client = ThetacryptClient(
+                    {n.config.node_id: n.rpc_address for n in nodes[:5]}
+                )
+                value = await client.flip_coin("coin", b"lossy")
+                assert len(value) == 32
+                await client.close()
+            finally:
+                for node in nodes[:5]:
+                    await node.stop()
+
+        asyncio.run(scenario())
+
+
+class TestServiceUnderMessageLoss:
+    def test_noninteractive_tolerates_partitioned_node(self, keys_cks05):
+        """Drop every link to one node: 3 healthy of 4 still reach quorum."""
+
+        async def scenario():
+            configs = make_local_configs(4, 1, transport="local", rpc_base_port=0)
+            hub = LocalHub(latency=lambda a, b: 0.001)
+            nodes = []
+            for config in configs:
+                node = ThetacryptNode(config, transport=hub.endpoint(config.node_id))
+                node.install_key(
+                    "coin",
+                    keys_cks05.scheme,
+                    keys_cks05.public_key,
+                    keys_cks05.share_for(config.node_id),
+                )
+                await node.start()
+                nodes.append(node)
+            try:
+                for other in (1, 2, 3):
+                    hub.drop_link(4, other)
+                    hub.drop_link(other, 4)
+                client = ThetacryptClient(
+                    {n.config.node_id: n.rpc_address for n in nodes[:3]}
+                )
+                value = await client.flip_coin("coin", b"partitioned")
+                assert len(value) == 32
+                await client.close()
+            finally:
+                for node in nodes:
+                    await node.stop()
+
+        asyncio.run(scenario())
+
+
+class TestManagerExternalTob:
+    def test_external_tob_used_for_tob_channel(self):
+        async def scenario():
+            hub = LocalHub()
+            tob_hub = LocalHub()
+            managers = {}
+            seen = {i: [] for i in (1, 2)}
+            for i in (1, 2):
+                external = SequencerTob(tob_hub.endpoint(i), sequencer_id=1)
+                manager = NetworkManager(
+                    hub.endpoint(i), enable_tob=False, tob=external
+                )
+
+                async def handler(message, i=i):
+                    seen[i].append(message.payload)
+
+                manager.set_protocol_handler(handler)
+                managers[i] = manager
+                await manager.start()
+            assert managers[1].has_tob
+            await managers[2].dispatch(
+                ProtocolMessage("inst", 2, 0, Channel.TOB, b"external")
+            )
+            await tob_hub.drain()
+            assert seen[1] == [b"external"] and seen[2] == [b"external"]
+            for manager in managers.values():
+                await manager.stop()
+
+        asyncio.run(scenario())

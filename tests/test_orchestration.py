@@ -1,0 +1,238 @@
+"""Orchestration: key manager, instance records, executor, instance manager."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import Channel, ProtocolMessage
+from repro.core.orchestration import (
+    InstanceManager,
+    InstanceStatus,
+    KeyManager,
+)
+from repro.core.orchestration.instance import InstanceRecord
+from repro.core.protocols import NonInteractiveProtocol, OperationRequest, make_operation
+from repro.errors import KeyManagementError, ProtocolAbortedError, ProtocolError
+
+
+class TestKeyManager:
+    def test_register_and_get(self, keys_bls04):
+        km = KeyManager()
+        km.register("k1", "bls04", keys_bls04.public_key, keys_bls04.key_shares[0])
+        entry = km.get("k1")
+        assert entry.scheme == "bls04"
+        assert entry.kind == "signature"
+        assert "k1" in km and len(km) == 1
+
+    def test_duplicate_rejected(self, keys_bls04):
+        km = KeyManager()
+        km.register("k1", "bls04", keys_bls04.public_key, keys_bls04.key_shares[0])
+        with pytest.raises(KeyManagementError):
+            km.register("k1", "bls04", keys_bls04.public_key, keys_bls04.key_shares[0])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyManagementError):
+            KeyManager().get("missing")
+
+    def test_unknown_scheme_rejected(self, keys_bls04):
+        with pytest.raises(KeyManagementError):
+            KeyManager().register("k", "bogus", keys_bls04.public_key, None)
+
+    def test_list_and_filter(self, keys_bls04, keys_cks05):
+        km = KeyManager()
+        km.register("sig", "bls04", keys_bls04.public_key, keys_bls04.key_shares[0])
+        km.register("coin", "cks05", keys_cks05.public_key, keys_cks05.key_shares[0])
+        assert [e.key_id for e in km.list_keys()] == ["coin", "sig"]
+        assert [e.key_id for e in km.list_keys("bls04")] == ["sig"]
+        assert km.first_for_scheme("cks05").key_id == "coin"
+
+    def test_first_for_scheme_missing(self):
+        with pytest.raises(KeyManagementError):
+            KeyManager().first_for_scheme("bls04")
+
+    def test_remove(self, keys_bls04):
+        km = KeyManager()
+        km.register("k1", "bls04", keys_bls04.public_key, keys_bls04.key_shares[0])
+        km.remove("k1")
+        assert "k1" not in km
+        with pytest.raises(KeyManagementError):
+            km.remove("k1")
+
+
+class TestInstanceRecord:
+    def test_lifecycle(self):
+        record = InstanceRecord("i1", "bls04")
+        assert record.status is InstanceStatus.CREATED
+        record.mark_running()
+        assert record.status is InstanceStatus.RUNNING
+        record.mark_finished(b"result")
+        assert record.status is InstanceStatus.FINISHED
+        assert record.result == b"result"
+        assert record.latency is not None and record.latency >= 0
+
+    def test_double_termination_rejected(self):
+        record = InstanceRecord("i1", "bls04")
+        record.mark_finished(b"x")
+        with pytest.raises(ProtocolError):
+            record.mark_failed("nope")
+        with pytest.raises(ProtocolError):
+            record.mark_finished(b"y")
+
+    def test_failed_has_error(self):
+        record = InstanceRecord("i1", "bls04")
+        record.mark_failed("boom")
+        assert record.status is InstanceStatus.FAILED
+        assert record.error == "boom"
+
+    def test_latency_none_while_running(self):
+        assert InstanceRecord("i1", "bls04").latency is None
+
+
+def _protocols_for(keys, kind, data, instance_id="inst"):
+    protocols = {}
+    for share in keys.key_shares:
+        operation = make_operation(
+            keys.scheme, keys.public_key, share, OperationRequest(kind, data)
+        )
+        protocols[share.id] = NonInteractiveProtocol(instance_id, share.id, operation)
+    return protocols
+
+
+def _wire_managers(protocols, timeout=5.0):
+    """Create one InstanceManager per party, all connected in memory."""
+    managers = {}
+
+    def make_send(sender_id):
+        async def send(message: ProtocolMessage) -> None:
+            for party_id, manager in managers.items():
+                if party_id == sender_id:
+                    continue
+                if message.recipient and message.recipient != party_id:
+                    continue
+                await manager.handle_network_message(message)
+
+        return send
+
+    for party_id in protocols:
+        managers[party_id] = InstanceManager(
+            party_id, make_send(party_id), default_timeout=timeout
+        )
+    return managers
+
+
+class TestInstanceManager:
+    def test_full_run_across_managers(self, keys_cks05):
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"orchestrated")
+            managers = _wire_managers(protocols)
+            for party_id, protocol in protocols.items():
+                managers[party_id].start_instance(protocol, "cks05")
+            results = await asyncio.gather(
+                *(m.result("inst") for m in managers.values())
+            )
+            assert len(set(results)) == 1
+
+        asyncio.run(scenario())
+
+    def test_idempotent_start(self, keys_cks05):
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"idem")
+            managers = _wire_managers(protocols)
+            manager = managers[1]
+            record_a = manager.start_instance(protocols[1], "cks05")
+            record_b = manager.start_instance(protocols[1], "cks05")
+            assert record_a is record_b
+            await manager.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_backlog_buffers_early_messages(self, keys_cks05):
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"early")
+            managers = _wire_managers(protocols)
+            # Parties 2..4 start first; their shares land in party 1's
+            # backlog before party 1 creates the instance.
+            for party_id in (2, 3, 4):
+                managers[party_id].start_instance(protocols[party_id], "cks05")
+            await asyncio.sleep(0.05)
+            managers[1].start_instance(protocols[1], "cks05")
+            result = await managers[1].result("inst")
+            assert result
+            record = managers[1].record("inst")
+            assert record.status is InstanceStatus.FINISHED
+
+        asyncio.run(scenario())
+
+    def test_timeout_marks_failed(self, keys_cks05):
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"timeout")
+            manager = InstanceManager(
+                1, lambda m: asyncio.sleep(0), default_timeout=0.1
+            )
+
+            async def send(message):
+                return None
+
+            manager._send = send
+            manager.start_instance(protocols[1], "cks05")
+            with pytest.raises(ProtocolAbortedError):
+                await manager.result("inst")
+            assert manager.record("inst").status is InstanceStatus.FAILED
+
+        asyncio.run(scenario())
+
+    def test_bad_share_is_dropped_and_protocol_still_finishes(self, keys_cks05):
+        """Robustness: one byzantine share must not stall the quorum."""
+
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"byzantine")
+            managers = _wire_managers(protocols)
+            # Party 1 receives a garbage share from "party 2" first.
+            managers[1].start_instance(protocols[1], "cks05")
+            garbage = ProtocolMessage("inst", 2, 0, Channel.P2P, b"\x00garbage")
+            await managers[1].handle_network_message(garbage)
+            for party_id in (2, 3, 4):
+                managers[party_id].start_instance(protocols[party_id], "cks05")
+            result = await managers[1].result("inst")
+            assert result
+
+        asyncio.run(scenario())
+
+    def test_unknown_instance_result_rejected(self):
+        async def scenario():
+            async def send(message):
+                return None
+
+            manager = InstanceManager(1, send)
+            with pytest.raises(ProtocolError):
+                await manager.result("missing")
+            with pytest.raises(ProtocolError):
+                manager.record("missing")
+
+        asyncio.run(scenario())
+
+    def test_residual_messages_after_finish_are_dropped(self, keys_cks05):
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"residual")
+            managers = _wire_managers(protocols)
+            for party_id, protocol in protocols.items():
+                managers[party_id].start_instance(protocol, "cks05")
+            await managers[1].result("inst")
+            # A late share for the finished instance must be ignored.
+            late = ProtocolMessage("inst", 4, 0, Channel.P2P, b"\x00late")
+            await managers[1].handle_network_message(late)
+            assert managers[1].record("inst").status is InstanceStatus.FINISHED
+
+        asyncio.run(scenario())
+
+    def test_active_count(self, keys_cks05):
+        async def scenario():
+            protocols = _protocols_for(keys_cks05, "coin", b"count")
+            managers = _wire_managers(protocols)
+            assert managers[1].active_count == 0
+            for party_id, protocol in protocols.items():
+                managers[party_id].start_instance(protocol, "cks05")
+            await managers[1].result("inst")
+            assert managers[1].active_count == 0
+
+        asyncio.run(scenario())

@@ -1,0 +1,48 @@
+"""Regression pins on the paper's headline numbers (slow: full sweeps).
+
+These are the reproduction's guard rails: if a cost-model or simulator
+change silently breaks the Fig. 4 / Table 4 shapes, these tests catch it
+without running the whole benchmark harness.
+"""
+
+import pytest
+
+from repro.sim.deployments import DEPLOYMENTS
+from repro.sim.experiments import capacity_test, steady_state
+from repro.sim.metrics import find_knee
+
+
+@pytest.mark.slow
+def test_do7_local_knees_match_paper_exactly():
+    deployment = DEPLOYMENTS["DO-7-L"]
+    expected = {"sg02": 64, "cks05": 64, "kg20": 64, "bls04": 32, "bz03": 32, "sh00": 8}
+    for scheme, paper_knee in expected.items():
+        knee = find_knee(capacity_test(deployment, scheme, duration=10.0))
+        assert knee.rate == paper_knee, f"{scheme}: {knee.rate} != {paper_knee}"
+
+
+@pytest.mark.slow
+def test_do31_global_fairness_structure():
+    deployment = DEPLOYMENTS["DO-31-G"]
+    rates = {"sg02": 8, "kg20": 4, "sh00": 2}
+    metrics = {
+        scheme: steady_state(deployment, scheme, rate=rate, duration=30.0)
+        for scheme, rate in rates.items()
+    }
+    # DH cheap → imbalanced; KG20 wait-for-all → balanced; SH00 compute-bound.
+    assert metrics["sg02"].delta_res > 1.0
+    assert metrics["kg20"].delta_res < 0.5
+    assert metrics["sg02"].eta_theta < 0.5 < metrics["kg20"].eta_theta
+    assert metrics["sh00"].l_theta_net > metrics["sg02"].l_theta_net
+
+
+def test_quick_shape_smoke():
+    """A fast (non-slow) sanity pin: ordering at reduced fidelity."""
+    deployment = DEPLOYMENTS["DO-7-L"]
+    rates = [4, 16, 64, 256]
+    knees = {}
+    for scheme in ("sg02", "bls04", "sh00"):
+        knees[scheme] = find_knee(
+            capacity_test(deployment, scheme, rates=rates, duration=3.0)
+        ).rate
+    assert knees["sg02"] >= knees["bls04"] >= knees["sh00"]

@@ -1,0 +1,55 @@
+"""Text-mode plot rendering."""
+
+from repro.sim.plotting import bar_chart, scatter_plot
+
+
+class TestScatterPlot:
+    def test_renders_all_series_markers(self):
+        plot = scatter_plot(
+            {"sg02": [(1, 0.01), (10, 0.02)], "sh00": [(1, 0.1), (2, 0.5)]}
+        )
+        assert "o=sg02" in plot
+        assert "x=sh00" in plot
+        assert plot.count("o") >= 2
+
+    def test_empty_series(self):
+        assert scatter_plot({}) == "(no data)"
+        assert scatter_plot({"a": []}) == "(no data)"
+
+    def test_non_positive_points_skipped(self):
+        plot = scatter_plot({"a": [(0, 1), (1, 0), (2, 0.5)]})
+        assert "(log scale" in plot
+
+    def test_axis_ranges_in_output(self):
+        plot = scatter_plot({"a": [(1, 0.001), (100, 1.0)]})
+        assert "0.001" in plot and "100" in plot
+
+    def test_monotone_series_slopes_upward(self):
+        # Higher y must land on an earlier (upper) grid line.
+        plot = scatter_plot({"a": [(1, 0.01), (100, 10.0)]}, width=20, height=10)
+        lines = [l for l in plot.splitlines() if l.startswith("  |")]
+        first_marker_rows = [i for i, l in enumerate(lines) if "o" in l]
+        # The low-latency point is on a later row than the high-latency one.
+        assert first_marker_rows[0] < first_marker_rows[-1]
+
+    def test_single_point(self):
+        assert "o" in scatter_plot({"only": [(5, 5)]})
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart({"fast": 10.0, "slow": 100.0})
+        fast_line = next(l for l in chart.splitlines() if "fast" in l)
+        slow_line = next(l for l in chart.splitlines() if "slow" in l)
+        assert slow_line.count("█") > fast_line.count("█")
+
+    def test_values_printed(self):
+        chart = bar_chart({"x": 42.0}, unit="ms")
+        assert "42.0 ms" in chart
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart

@@ -1,0 +1,191 @@
+"""Property-based suites over the core data structures and protocols.
+
+Hypothesis drives: wire-format round trips under arbitrary contents,
+adversarial byte-level fuzzing of every decoder (must raise, never crash or
+mis-decode), scheme correctness under random plaintexts/labels/quorums, and
+protocol-pump runs under random message orderings.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import Channel, ProtocolMessage
+from repro.errors import SerializationError, ThetacryptError
+from repro.schemes import cks05, get_scheme, sg02
+
+small_binary = st.binary(max_size=256)
+
+
+class TestProtocolMessageProperties:
+    @settings(max_examples=60)
+    @given(
+        st.text(min_size=1, max_size=40),
+        st.integers(1, 1000),
+        st.integers(0, 10),
+        st.sampled_from([Channel.P2P, Channel.TOB]),
+        small_binary,
+        st.integers(0, 1000),
+    )
+    def test_round_trip(self, instance_id, sender, round_number, channel, payload, recipient):
+        message = ProtocolMessage(
+            instance_id, sender, round_number, channel, payload, recipient
+        )
+        assert ProtocolMessage.from_bytes(message.to_bytes()) == message
+
+    @settings(max_examples=80)
+    @given(st.binary(max_size=200))
+    def test_decoder_never_crashes(self, data):
+        try:
+            message = ProtocolMessage.from_bytes(data)
+        except ThetacryptError:
+            return  # rejection is the expected outcome for garbage
+        # If it decoded, re-encoding must reproduce the input exactly.
+        assert message.to_bytes() == data
+
+    @settings(max_examples=30)
+    @given(small_binary, st.integers(0, 255), st.integers(0, 60))
+    def test_single_byte_corruption_never_misroutes(self, payload, xor, position):
+        """A flipped byte either still decodes or raises — never crashes."""
+        message = ProtocolMessage("instance-x", 3, 1, Channel.P2P, payload)
+        data = bytearray(message.to_bytes())
+        position %= len(data)
+        data[position] ^= xor
+        try:
+            ProtocolMessage.from_bytes(bytes(data))
+        except ThetacryptError:
+            pass
+
+
+class TestSchemeDecoderFuzz:
+    @settings(max_examples=50)
+    @given(st.binary(max_size=300))
+    def test_sg02_ciphertext_decoder_total(self, data):
+        from repro.groups import get_group
+
+        try:
+            sg02.Sg02Ciphertext.from_bytes(data, get_group("ed25519"))
+        except ThetacryptError:
+            pass
+
+    @settings(max_examples=50)
+    @given(st.binary(max_size=200))
+    def test_coin_share_decoder_total(self, data):
+        from repro.groups import get_group
+
+        try:
+            cks05.Cks05CoinShare.from_bytes(data, get_group("ed25519"))
+        except ThetacryptError:
+            pass
+
+    @settings(max_examples=50)
+    @given(st.binary(max_size=200))
+    def test_keystore_import_total(self, data):
+        from repro.schemes.keystore import import_key_share
+
+        try:
+            import_key_share(data)
+        except ThetacryptError:
+            pass
+
+
+_COIN_MATERIAL = cks05.keygen(2, 6)
+
+
+class TestSchemeProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.binary(min_size=0, max_size=512),
+        st.binary(max_size=32),
+        st.sets(st.integers(1, 6), min_size=3, max_size=6),
+    )
+    def test_sg02_decrypts_for_any_quorum_and_payload(self, plaintext, label, quorum):
+        public, shares = _SG02_MATERIAL
+        cipher = get_scheme("sg02")
+        ciphertext = cipher.encrypt(public, plaintext, label)
+        dec = [
+            cipher.create_decryption_share(shares[i - 1], ciphertext)
+            for i in sorted(quorum)
+        ]
+        assert cipher.combine(public, ciphertext, dec) == plaintext
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.sets(st.integers(1, 6), min_size=3, max_size=4),
+        st.sets(st.integers(1, 6), min_size=3, max_size=4),
+    )
+    def test_coin_quorum_independence(self, name, quorum_a, quorum_b):
+        public, shares = _COIN_MATERIAL[0], _COIN_MATERIAL[1]
+        coin = get_scheme("cks05")
+        value_a = coin.combine(
+            public,
+            name,
+            [coin.create_coin_share(shares[i - 1], name) for i in sorted(quorum_a)],
+        )
+        value_b = coin.combine(
+            public,
+            name,
+            [coin.create_coin_share(shares[i - 1], name) for i in sorted(quorum_b)],
+        )
+        assert value_a == value_b
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_bls_sign_verify_total(self, message):
+        public, shares = _BLS_MATERIAL
+        scheme = get_scheme("bls04")
+        partials = [scheme.partial_sign(shares[i], message) for i in (0, 1)]
+        signature = scheme.combine(public, message, partials)
+        scheme.verify(public, message, signature)
+
+
+_SG02_MATERIAL = sg02.keygen(2, 6)
+
+from repro.schemes import bls04 as _bls04_mod  # noqa: E402
+
+_BLS_MATERIAL = _bls04_mod.keygen(1, 4)
+
+
+class TestProtocolOrderingProperties:
+    """The one-round protocol must terminate under ANY message order."""
+
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.permutations(list(range(5))), st.integers(0, 4))
+    def test_coin_protocol_order_insensitive(self, order, observer_index):
+        from repro.core.protocols import (
+            NonInteractiveProtocol,
+            OperationRequest,
+            make_operation,
+        )
+
+        public, shares = _COIN_MATERIAL
+        protocols = []
+        for share in shares[:5]:
+            operation = make_operation(
+                "cks05", public, share, OperationRequest("coin", b"ordered")
+            )
+            protocols.append(NonInteractiveProtocol("perm", share.id, operation))
+        messages = []
+        for protocol in protocols:
+            messages.extend(protocol.do_round())
+        observer = protocols[observer_index]
+        result = None
+        for index in order:
+            message = messages[index]
+            if message.sender == observer.party_id:
+                continue
+            observer.update(message)
+            if result is None and observer.is_ready_to_finalize():
+                result = observer.finalize()
+        assert result is not None
+        # Same value every permutation (uniqueness of the coin).
+        expected = get_scheme("cks05").combine(
+            public,
+            b"ordered",
+            [
+                get_scheme("cks05").create_coin_share(shares[i], b"ordered")
+                for i in (0, 1, 2)
+            ],
+        )
+        assert result == expected

@@ -1,0 +1,109 @@
+"""RFC 8032 interop: threshold FROST signatures pass a plain Ed25519 verifier."""
+
+import pytest
+
+from repro.errors import InvalidSignatureError
+from repro.groups.ed25519 import L, ed25519
+from repro.schemes.rfc8032 import FrostEd25519, frost_keygen, sign, verify
+
+
+@pytest.fixture(scope="module")
+def material():
+    return frost_keygen(1, 4)
+
+
+class TestReferenceSignVerify:
+    def test_round_trip(self):
+        group = ed25519()
+        secret = group.random_scalar()
+        public = (group.generator() ** secret).to_bytes()
+        signature = sign(secret, b"reference message")
+        verify(public, b"reference message", signature)
+
+    def test_wrong_message_rejected(self):
+        group = ed25519()
+        secret = group.random_scalar()
+        public = (group.generator() ** secret).to_bytes()
+        signature = sign(secret, b"m1")
+        with pytest.raises(InvalidSignatureError):
+            verify(public, b"m2", signature)
+
+    def test_wrong_key_rejected(self):
+        group = ed25519()
+        secret = group.random_scalar()
+        other = (group.generator() ** group.random_scalar()).to_bytes()
+        signature = sign(secret, b"m")
+        with pytest.raises(InvalidSignatureError):
+            verify(other, b"m", signature)
+
+    def test_malformed_signature_rejected(self):
+        group = ed25519()
+        secret = group.random_scalar()
+        public = (group.generator() ** secret).to_bytes()
+        with pytest.raises(InvalidSignatureError):
+            verify(public, b"m", b"short")
+        signature = bytearray(sign(secret, b"m"))
+        signature[0] ^= 1
+        with pytest.raises(InvalidSignatureError):
+            verify(public, b"m", bytes(signature))
+
+    def test_non_canonical_scalar_rejected(self):
+        group = ed25519()
+        secret = group.random_scalar()
+        public = (group.generator() ** secret).to_bytes()
+        signature = bytearray(sign(secret, b"m"))
+        # Add L to S: same point equation, non-canonical encoding.
+        s = int.from_bytes(signature[32:], "little") + L
+        signature[32:] = s.to_bytes(32, "little")
+        with pytest.raises(InvalidSignatureError):
+            verify(public, b"m", bytes(signature))
+
+    def test_deterministic(self):
+        group = ed25519()
+        secret = group.random_scalar()
+        assert sign(secret, b"m") == sign(secret, b"m")
+
+
+class TestThresholdInterop:
+    def test_frost_signature_passes_plain_verifier(self, material):
+        """The headline: a 2-of-4 threshold signature, verified with zero
+        knowledge of thresholds — just RFC 8032 math."""
+        public, shares = material
+        scheme = FrostEd25519()
+        signature = scheme.sign_threshold(public, [shares[0], shares[2]], b"wallet tx")
+        verify(public.y.to_bytes(), b"wallet tx", signature.data)
+        assert len(signature.data) == 64
+
+    def test_different_quorums_all_verify(self, material):
+        public, shares = material
+        scheme = FrostEd25519()
+        for quorum in ([shares[0], shares[1]], [shares[1], shares[3]],
+                       [shares[0], shares[1], shares[2], shares[3]]):
+            signature = scheme.sign_threshold(public, quorum, b"multi-quorum")
+            verify(public.y.to_bytes(), b"multi-quorum", signature.data)
+
+    def test_threshold_and_single_signer_indistinguishable_format(self, material):
+        public, shares = material
+        scheme = FrostEd25519()
+        threshold_sig = scheme.sign_threshold(public, shares[:2], b"m")
+        group = ed25519()
+        single_secret = group.random_scalar()
+        single_sig = sign(single_secret, b"m")
+        assert len(threshold_sig.data) == len(single_sig) == 64
+
+    def test_tampered_threshold_signature_rejected(self, material):
+        public, shares = material
+        scheme = FrostEd25519()
+        signature = bytearray(scheme.sign_threshold(public, shares[:2], b"m").data)
+        signature[40] ^= 0xFF
+        with pytest.raises(InvalidSignatureError):
+            verify(public.y.to_bytes(), b"m", bytes(signature))
+
+    def test_share_verification_still_works_with_rfc_challenge(self, material):
+        public, shares = material
+        scheme = FrostEd25519()
+        ids = [1, 2]
+        nonces = {i: scheme.commit(shares[i - 1]) for i in ids}
+        commitments = [nonces[i][1] for i in ids]
+        z = scheme.sign_round(shares[0], b"m", nonces[1][0], commitments)
+        scheme.verify_signature_share(public, b"m", z, commitments)

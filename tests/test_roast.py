@@ -1,0 +1,170 @@
+"""ROAST: robust threshold Schnorr despite deviating signers."""
+
+import pytest
+
+from repro.errors import ProtocolAbortedError
+from repro.schemes import generate_keys, kg20
+from repro.schemes.roast import RoastCoordinator, RoastSigner, roast_sign
+
+
+@pytest.fixture(scope="module")
+def material():
+    return generate_keys("kg20", 2, 7)  # 3-of-7, the paper's small shape
+
+
+def _honest_signers(material, ids):
+    return {i: RoastSigner(material.share_for(i)) for i in ids}
+
+
+class _GarbageSigner:
+    """Byzantine: valid commitments, garbage signature shares."""
+
+    def __init__(self, key_share):
+        self._inner = RoastSigner(key_share)
+        self.id = key_share.id
+
+    def fresh_commitment(self):
+        return self._inner.fresh_commitment()
+
+    def sign(self, message, commitments):
+        share, next_commitment = self._inner.sign(message, commitments)
+        return kg20.Kg20SignatureShare(share.id, share.z + 1), next_commitment
+
+
+class _SilentSigner:
+    """Byzantine: registers, then never responds."""
+
+    def __init__(self, key_share):
+        self._inner = RoastSigner(key_share)
+        self.id = key_share.id
+
+    def fresh_commitment(self):
+        return self._inner.fresh_commitment()
+
+    def sign(self, message, commitments):
+        return None, None  # the harness treats this as unresponsive
+
+
+class TestHappyPath:
+    def test_all_honest(self, material):
+        signers = _honest_signers(material, range(1, 8))
+        signature, coordinator = roast_sign(
+            material.public_key, signers, b"roast msg"
+        )
+        kg20.Kg20SignatureScheme().verify(material.public_key, b"roast msg", signature)
+        assert coordinator.excluded == set()
+
+    def test_sessions_use_quorum_not_all(self, material):
+        signers = _honest_signers(material, range(1, 8))
+        _, coordinator = roast_sign(material.public_key, signers, b"quorum")
+        # Unlike the plain FROST protocol (which waits for all n, §4.5),
+        # ROAST sessions contain exactly t+1 signers.
+        assert coordinator.quorum == 3
+
+    def test_minimum_signers(self, material):
+        signers = _honest_signers(material, [2, 5, 7])
+        signature, _ = roast_sign(material.public_key, signers, b"minimal")
+        kg20.Kg20SignatureScheme().verify(material.public_key, b"minimal", signature)
+
+
+class TestRobustness:
+    def test_garbage_shares_are_survived(self, material):
+        """The headline property FROST lacks: bad shares cannot abort us."""
+        honest = _honest_signers(material, [1, 2, 3, 4])
+        byzantine = {
+            i: _GarbageSigner(material.share_for(i)) for i in (5, 6, 7)
+        }
+        signature, coordinator = roast_sign(
+            material.public_key, honest, b"attacked", byzantine=byzantine
+        )
+        kg20.Kg20SignatureScheme().verify(material.public_key, b"attacked", signature)
+        # Exposed cheaters are excluded (those unlucky enough to be drafted).
+        assert coordinator.excluded <= {5, 6, 7}
+
+    def test_silent_signers_are_survived(self, material):
+        honest = _honest_signers(material, [1, 2, 3])
+        byzantine = {i: _SilentSigner(material.share_for(i)) for i in (4, 5, 6, 7)}
+        signature, coordinator = roast_sign(
+            material.public_key, honest, b"silence", byzantine=byzantine
+        )
+        kg20.Kg20SignatureScheme().verify(material.public_key, b"silence", signature)
+
+    def test_mixed_faults(self, material):
+        honest = _honest_signers(material, [1, 4, 6])
+        byzantine = {
+            2: _GarbageSigner(material.share_for(2)),
+            3: _SilentSigner(material.share_for(3)),
+            5: _GarbageSigner(material.share_for(5)),
+            7: _SilentSigner(material.share_for(7)),
+        }
+        signature, coordinator = roast_sign(
+            material.public_key, honest, b"mixed", byzantine=byzantine
+        )
+        kg20.Kg20SignatureScheme().verify(material.public_key, b"mixed", signature)
+
+    def test_session_bound(self, material):
+        """ROAST's bound: at most n − t sessions before success."""
+        honest = _honest_signers(material, [1, 2, 3, 4])
+        byzantine = {i: _GarbageSigner(material.share_for(i)) for i in (5, 6, 7)}
+        _, coordinator = roast_sign(
+            material.public_key, honest, b"bound", byzantine=byzantine
+        )
+        assert coordinator.sessions_opened <= 7 - 2  # n − t
+
+    def test_too_few_honest_aborts(self, material):
+        honest = _honest_signers(material, [1, 2])  # below the 3-signer quorum
+        byzantine = {
+            i: _GarbageSigner(material.share_for(i)) for i in (3, 4, 5, 6, 7)
+        }
+        with pytest.raises(ProtocolAbortedError):
+            roast_sign(material.public_key, honest, b"hopeless", byzantine=byzantine)
+
+    def test_plain_frost_aborts_where_roast_survives(self, material):
+        """Contrast: the same attack kills a plain FROST run."""
+        scheme = kg20.Kg20SignatureScheme()
+        ids = [1, 2, 5]
+        nonces = {i: scheme.commit(material.share_for(i)) for i in ids}
+        commitments = [nonces[i][1] for i in ids]
+        shares = []
+        for i in ids:
+            share = scheme.sign_round(
+                material.share_for(i), b"attack", nonces[i][0], commitments
+            )
+            if i == 5:  # party 5 deviates
+                share = kg20.Kg20SignatureShare(share.id, share.z + 1)
+            shares.append(share)
+        from repro.errors import InvalidSignatureError, InvalidShareError
+
+        with pytest.raises((InvalidSignatureError, InvalidShareError)):
+            scheme.combine(material.public_key, b"attack", shares, commitments)
+
+
+class TestCoordinatorEdgeCases:
+    def test_commitment_id_spoofing_excludes(self, material):
+        coordinator = RoastCoordinator(material.public_key, b"m")
+        honest = RoastSigner(material.share_for(1))
+        spoofed = honest.fresh_commitment()
+        coordinator.register(2, spoofed)  # claims to be 2, commitment says 1
+        assert 2 in coordinator.excluded
+
+    def test_late_input_after_signature_ignored(self, material):
+        signers = _honest_signers(material, range(1, 8))
+        signature, coordinator = roast_sign(material.public_key, signers, b"done")
+        extra = RoastSigner(material.share_for(1))
+        assert coordinator.register(1, extra.fresh_commitment()) == []
+        assert coordinator.signature is signature
+
+    def test_unknown_session_response_ignored(self, material):
+        coordinator = RoastCoordinator(material.public_key, b"m")
+        signer = RoastSigner(material.share_for(1))
+        share = kg20.Kg20SignatureShare(1, 42)
+        assert coordinator.receive_share(99, 1, share, signer.fresh_commitment()) == []
+
+    def test_nonce_reuse_refused_by_signer(self, material):
+        signer = RoastSigner(material.share_for(1))
+        commitment = signer.fresh_commitment()
+        peer = RoastSigner(material.share_for(2))
+        commitments = [commitment, peer.fresh_commitment()]
+        signer.sign(b"first", commitments)
+        with pytest.raises(ProtocolAbortedError):
+            signer.sign(b"second", commitments)  # same nonce again

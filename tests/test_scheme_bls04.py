@@ -1,0 +1,204 @@
+"""BLS04: short threshold signatures from pairings."""
+
+import pytest
+
+from repro.errors import (
+    InvalidShareError,
+    InvalidSignatureError,
+    ThresholdNotReachedError,
+)
+from repro.schemes import bls04
+from repro.schemes.bls04 import (
+    Bls04Signature,
+    Bls04SignatureScheme,
+    Bls04SignatureShare,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return Bls04SignatureScheme()
+
+
+@pytest.fixture(scope="module")
+def material():
+    return bls04.keygen(1, 4)
+
+
+class TestHappyPath:
+    def test_sign_verify(self, scheme, material):
+        public, shares = material
+        msg = b"short signature"
+        partials = [scheme.partial_sign(shares[i], msg) for i in (0, 2)]
+        for p in partials:
+            scheme.verify_signature_share(public, msg, p)
+        signature = scheme.combine(public, msg, partials)
+        scheme.verify(public, msg, signature)
+
+    def test_signature_is_deterministic_across_quorums(self, scheme, material):
+        # BLS has unique signatures: every quorum assembles the same σ.
+        public, shares = material
+        msg = b"uniqueness"
+        sig_a = scheme.combine(
+            public, msg, [scheme.partial_sign(shares[i], msg) for i in (0, 1)]
+        )
+        sig_b = scheme.combine(
+            public, msg, [scheme.partial_sign(shares[i], msg) for i in (2, 3)]
+        )
+        assert sig_a.sigma == sig_b.sigma
+
+    def test_signature_is_short(self, scheme, material):
+        # One G1 point: 64 bytes of coordinates (paper §3.5: "short
+        # signatures ... compared to RSA and DSA").
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"m") for i in (0, 1)]
+        signature = scheme.combine(public, b"m", partials)
+        assert len(signature.sigma.to_bytes()) == 64
+
+    def test_share_matches_centralized_scheme(self, scheme, material):
+        # The combined σ equals H(m)^x — the ordinary BLS signature.
+        from repro.mathutils.lagrange import lagrange_coefficients_at_zero
+        from repro.sharing.shamir import reconstruct_secret
+        from repro.sharing.shamir import ShamirShare
+
+        public, shares = material
+        x = reconstruct_secret(
+            [ShamirShare(s.id, s.value) for s in shares[:2]], 1, public.pairing.order
+        )
+        msg = b"centralized equivalence"
+        partials = [scheme.partial_sign(shares[i], msg) for i in (0, 1)]
+        signature = scheme.combine(public, msg, partials)
+        assert signature.sigma == bls04._hash_message(msg) ** x
+
+    def test_metadata(self, scheme):
+        assert scheme.info.verification == "Pairings"
+
+
+class TestNegativePaths:
+    def test_forged_share_rejected(self, scheme, material):
+        public, shares = material
+        good = scheme.partial_sign(shares[0], b"m")
+        forged = Bls04SignatureShare(
+            good.id, good.sigma * public.pairing.g1.generator()
+        )
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, b"m", forged)
+
+    def test_share_replay_on_other_message_rejected(self, scheme, material):
+        public, shares = material
+        share = scheme.partial_sign(shares[0], b"m1")
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, b"m2", share)
+
+    def test_misattributed_share_rejected(self, scheme, material):
+        public, shares = material
+        good = scheme.partial_sign(shares[0], b"m")
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(
+                public, b"m", Bls04SignatureShare(2, good.sigma)
+            )
+
+    def test_id_out_of_range(self, scheme, material):
+        public, shares = material
+        good = scheme.partial_sign(shares[0], b"m")
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(
+                public, b"m", Bls04SignatureShare(11, good.sigma)
+            )
+
+    def test_threshold_enforced(self, scheme, material):
+        public, shares = material
+        with pytest.raises(ThresholdNotReachedError):
+            scheme.combine(public, b"m", [scheme.partial_sign(shares[0], b"m")])
+
+    def test_wrong_message_verification_fails(self, scheme, material):
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"a") for i in (0, 1)]
+        signature = scheme.combine(public, b"a", partials)
+        with pytest.raises(InvalidSignatureError):
+            scheme.verify(public, b"b", signature)
+
+    def test_identity_signature_rejected(self, scheme, material):
+        public, _ = material
+        with pytest.raises(InvalidSignatureError):
+            scheme.verify(
+                public, b"m", Bls04Signature(public.pairing.g1.identity())
+            )
+
+
+class TestBatchVerification:
+    def test_valid_batch_accepted(self, scheme, material):
+        public, shares = material
+        msg = b"batch"
+        partials = [scheme.partial_sign(shares[i], msg) for i in range(4)]
+        scheme.verify_share_batch(public, msg, partials)
+
+    def test_one_forged_share_fails_the_batch(self, scheme, material):
+        public, shares = material
+        msg = b"batch"
+        partials = [scheme.partial_sign(shares[i], msg) for i in range(3)]
+        forged = Bls04SignatureShare(
+            4, partials[0].sigma * public.pairing.g1.generator()
+        )
+        with pytest.raises(InvalidShareError):
+            scheme.verify_share_batch(public, msg, [*partials, forged])
+
+    def test_swapped_ids_fail_the_batch(self, scheme, material):
+        public, shares = material
+        msg = b"batch"
+        a = scheme.partial_sign(shares[0], msg)
+        b = scheme.partial_sign(shares[1], msg)
+        swapped = [
+            Bls04SignatureShare(2, a.sigma),
+            Bls04SignatureShare(1, b.sigma),
+        ]
+        with pytest.raises(InvalidShareError):
+            scheme.verify_share_batch(public, msg, swapped)
+
+    def test_empty_batch_is_trivially_valid(self, scheme, material):
+        public, _ = material
+        scheme.verify_share_batch(public, b"m", [])
+
+    def test_out_of_range_id_rejected(self, scheme, material):
+        public, shares = material
+        share = scheme.partial_sign(shares[0], b"m")
+        with pytest.raises(InvalidShareError):
+            scheme.verify_share_batch(
+                public, b"m", [Bls04SignatureShare(9, share.sigma)]
+            )
+
+    def test_batch_is_faster_than_sequential(self, scheme, material):
+        import time
+
+        public, shares = material
+        msg = b"perf"
+        partials = [scheme.partial_sign(shares[i], msg) for i in range(4)]
+        start = time.perf_counter()
+        scheme.verify_share_batch(public, msg, partials)
+        batch_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for share in partials:
+            scheme.verify_signature_share(public, msg, share)
+        sequential_time = time.perf_counter() - start
+        assert batch_time < sequential_time
+
+
+class TestSerialization:
+    def test_share_round_trip(self, scheme, material):
+        public, shares = material
+        share = scheme.partial_sign(shares[0], b"ser")
+        restored = Bls04SignatureShare.from_bytes(share.to_bytes())
+        scheme.verify_signature_share(public, b"ser", restored)
+
+    def test_signature_round_trip(self, scheme, material):
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"ser") for i in (0, 1)]
+        sig = scheme.combine(public, b"ser", partials)
+        restored = Bls04Signature.from_bytes(sig.to_bytes())
+        scheme.verify(public, b"ser", restored)
+
+    def test_public_key_round_trip(self, material):
+        public, _ = material
+        restored = bls04.Bls04PublicKey.from_bytes(public.to_bytes())
+        assert restored.y == public.y
+        assert restored.verification_keys == public.verification_keys

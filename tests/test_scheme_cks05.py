@@ -1,0 +1,139 @@
+"""CKS05: threshold coin tossing with DLEQ-validated shares."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidShareError, ThresholdNotReachedError
+from repro.schemes import cks05
+from repro.schemes.cks05 import Cks05Coin, Cks05CoinShare
+from repro.schemes.dleq import DleqProof
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return Cks05Coin()
+
+
+@pytest.fixture(scope="module")
+def material():
+    return cks05.keygen(2, 5)
+
+
+class TestHappyPath:
+    def test_toss_and_verify(self, coin, material):
+        public, shares = material
+        name = b"round-1"
+        coin_shares = [coin.create_coin_share(shares[i], name) for i in (0, 2, 4)]
+        for share in coin_shares:
+            coin.verify_coin_share(public, name, share)
+        value = coin.combine(public, name, coin_shares)
+        assert len(value) == 32
+
+    def test_uniqueness_across_quorums(self, coin, material):
+        """The defining property: any quorum derives the same coin."""
+        public, shares = material
+        name = b"round-2"
+        value_a = coin.combine(
+            public, name, [coin.create_coin_share(shares[i], name) for i in (0, 1, 2)]
+        )
+        value_b = coin.combine(
+            public, name, [coin.create_coin_share(shares[i], name) for i in (2, 3, 4)]
+        )
+        assert value_a == value_b
+
+    def test_different_names_different_coins(self, coin, material):
+        public, shares = material
+        values = set()
+        for name in (b"a", b"b", b"c", b"d"):
+            cs = [coin.create_coin_share(shares[i], name) for i in (0, 1, 2)]
+            values.add(coin.combine(public, name, cs))
+        assert len(values) == 4
+
+    def test_coin_bit(self, coin):
+        assert Cks05Coin.coin_bit(b"\x00" + bytes(31)) == 0
+        assert Cks05Coin.coin_bit(b"\x01" + bytes(31)) == 1
+        assert Cks05Coin.coin_bit(b"\xfe" + bytes(31)) == 0
+
+    def test_bit_distribution_roughly_balanced(self, coin, material):
+        public, shares = material
+        bits = []
+        for round_number in range(24):
+            name = b"balance-%d" % round_number
+            cs = [coin.create_coin_share(shares[i], name) for i in (0, 1, 2)]
+            bits.append(Cks05Coin.coin_bit(coin.combine(public, name, cs)))
+        assert 2 <= sum(bits) <= 22  # astronomically unlikely to fail
+
+    def test_metadata(self, coin):
+        assert coin.info.kind.value == "randomness"
+
+
+class TestNegativePaths:
+    def test_forged_share_rejected(self, coin, material):
+        public, shares = material
+        name = b"forged"
+        good = coin.create_coin_share(shares[0], name)
+        forged = Cks05CoinShare(
+            good.id, good.sigma * public.group.generator(), good.proof
+        )
+        with pytest.raises(InvalidShareError):
+            coin.verify_coin_share(public, name, forged)
+
+    def test_share_replay_on_other_name_rejected(self, coin, material):
+        public, shares = material
+        share = coin.create_coin_share(shares[0], b"name-1")
+        with pytest.raises(InvalidShareError):
+            coin.verify_coin_share(public, b"name-2", share)
+
+    def test_share_id_out_of_range(self, coin, material):
+        public, shares = material
+        good = coin.create_coin_share(shares[0], b"n")
+        with pytest.raises(InvalidShareError):
+            coin.verify_coin_share(
+                public, b"n", Cks05CoinShare(7, good.sigma, good.proof)
+            )
+
+    def test_bogus_proof_rejected(self, coin, material):
+        public, shares = material
+        good = coin.create_coin_share(shares[0], b"n")
+        bad = Cks05CoinShare(good.id, good.sigma, DleqProof(1, 2))
+        with pytest.raises(InvalidShareError):
+            coin.verify_coin_share(public, b"n", bad)
+
+    def test_threshold_enforced(self, coin, material):
+        public, shares = material
+        cs = [coin.create_coin_share(shares[i], b"n") for i in (0, 1)]
+        with pytest.raises(ThresholdNotReachedError):
+            coin.combine(public, b"n", cs)
+
+
+class TestSerialization:
+    def test_share_round_trip(self, coin, material):
+        public, shares = material
+        share = coin.create_coin_share(shares[0], b"ser")
+        restored = Cks05CoinShare.from_bytes(share.to_bytes(), public.group)
+        coin.verify_coin_share(public, b"ser", restored)
+
+    def test_public_key_round_trip(self, material):
+        public, _ = material
+        restored = cks05.Cks05PublicKey.from_bytes(public.to_bytes())
+        assert restored.h == public.h
+        assert restored.verification_keys == public.verification_keys
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=1, max_size=64))
+def test_coin_uniqueness_property(name):
+    """For arbitrary names, two disjoint-ish quorums agree on the value."""
+    coin = Cks05Coin()
+    public, shares = _MATERIAL
+    a = coin.combine(
+        public, name, [coin.create_coin_share(shares[i], name) for i in (0, 1, 2)]
+    )
+    b = coin.combine(
+        public, name, [coin.create_coin_share(shares[i], name) for i in (1, 3, 4)]
+    )
+    assert a == b
+
+
+_MATERIAL = cks05.keygen(2, 5)

@@ -1,0 +1,196 @@
+"""KG20 (FROST): two-round threshold Schnorr signatures."""
+
+import pytest
+
+from repro.errors import InvalidShareError, InvalidSignatureError
+from repro.schemes import kg20
+from repro.schemes.kg20 import (
+    Kg20Signature,
+    Kg20SignatureScheme,
+    Kg20SignatureShare,
+    NonceCommitment,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return Kg20SignatureScheme()
+
+
+@pytest.fixture(scope="module")
+def material():
+    return kg20.keygen(2, 5)
+
+
+def run_signing(scheme, material, ids, msg):
+    public, shares = material
+    nonces = {i: scheme.commit(shares[i - 1]) for i in ids}
+    commitments = [nonces[i][1] for i in ids]
+    z_shares = [
+        scheme.sign_round(shares[i - 1], msg, nonces[i][0], commitments)
+        for i in ids
+    ]
+    return commitments, z_shares
+
+
+class TestHappyPath:
+    def test_two_round_flow(self, scheme, material):
+        public, _ = material
+        msg = b"frost message"
+        commitments, z_shares = run_signing(scheme, material, [1, 3, 5], msg)
+        for z in z_shares:
+            scheme.verify_signature_share(public, msg, z, commitments)
+        signature = scheme.combine(public, msg, z_shares, commitments)
+        scheme.verify(public, msg, signature)
+
+    def test_different_signing_groups(self, scheme, material):
+        public, _ = material
+        for ids in ([1, 2, 3], [2, 4, 5], [1, 2, 3, 4, 5]):
+            commitments, z_shares = run_signing(scheme, material, ids, b"g")
+            scheme.verify(
+                public, b"g", scheme.combine(public, b"g", z_shares, commitments)
+            )
+
+    def test_signature_is_plain_schnorr(self, scheme, material):
+        # g^z == R · Y^c — verifiable by any Schnorr verifier.
+        public, _ = material
+        msg = b"schnorr"
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 4], msg)
+        signature = scheme.combine(public, msg, z_shares, commitments)
+        group = public.group
+        c = scheme.challenge(group, signature.r, public.y, msg)
+        assert group.generator() ** signature.z == signature.r * public.y**c
+
+    def test_precompute_batch(self, scheme, material):
+        public, shares = material
+        batch = scheme.precompute(shares[0], 5)
+        assert len(batch) == 5
+        nonces = {n.d for pair, n in [(p, p[0]) for p in batch]}
+        assert len(nonces) == 5  # single-use nonces must be distinct
+
+    def test_precomputed_signing(self, scheme, material):
+        # Round 1 done in advance: sign with stored nonces + commitments.
+        public, shares = material
+        ids = [1, 2, 3]
+        batches = {i: scheme.precompute(shares[i - 1], 2) for i in ids}
+        for index in range(2):
+            commitments = [batches[i][index][1] for i in ids]
+            msg = b"batch msg %d" % index
+            z_shares = [
+                scheme.sign_round(
+                    shares[i - 1], msg, batches[i][index][0], commitments
+                )
+                for i in ids
+            ]
+            scheme.verify(
+                public, msg, scheme.combine(public, msg, z_shares, commitments)
+            )
+
+    def test_metadata(self, scheme):
+        assert scheme.info.rounds == 2
+        assert scheme.info.communication_complexity == "O(n^2)"
+
+
+class TestNegativePaths:
+    def test_partial_sign_is_blocked(self, scheme, material):
+        _, shares = material
+        with pytest.raises(InvalidSignatureError):
+            scheme.partial_sign(shares[0], b"not like this")
+
+    def test_forged_z_share_rejected(self, scheme, material):
+        public, _ = material
+        msg = b"forged"
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 3], msg)
+        forged = Kg20SignatureShare(z_shares[0].id, (z_shares[0].z + 1))
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, msg, forged, commitments)
+
+    def test_share_without_commitment_rejected(self, scheme, material):
+        public, _ = material
+        msg = b"missing"
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 3], msg)
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(
+                public, msg, Kg20SignatureShare(4, 123), commitments
+            )
+
+    def test_combine_requires_whole_group(self, scheme, material):
+        # The signing group is fixed a priori: missing members abort (§4.5).
+        public, _ = material
+        msg = b"incomplete"
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 3], msg)
+        with pytest.raises(InvalidSignatureError):
+            scheme.combine(public, msg, z_shares[:2], commitments)
+
+    def test_combine_needs_commitments(self, scheme, material):
+        public, _ = material
+        _, z_shares = run_signing(scheme, material, [1, 2, 3], b"m")
+        with pytest.raises(InvalidSignatureError):
+            scheme.combine(public, b"m", z_shares, None)
+
+    def test_signing_outside_group_rejected(self, scheme, material):
+        public, shares = material
+        ids = [1, 2, 3]
+        nonces = {i: scheme.commit(shares[i - 1]) for i in ids}
+        commitments = [nonces[i][1] for i in ids]
+        with pytest.raises(InvalidShareError):
+            scheme.sign_round(shares[4 - 1], b"m", nonces[1][0], commitments)
+
+    def test_duplicate_commitments_rejected(self, scheme, material):
+        public, shares = material
+        _, commitment = scheme.commit(shares[0])
+        with pytest.raises(InvalidShareError):
+            scheme.group_commitment(
+                public.group, b"m", [commitment, commitment]
+            )
+
+    def test_binding_factor_depends_on_message(self, scheme, material):
+        public, shares = material
+        _, commitment = scheme.commit(shares[0])
+        rho_a = scheme.binding_factor(public.group, 1, b"a", [commitment])
+        rho_b = scheme.binding_factor(public.group, 1, b"b", [commitment])
+        assert rho_a != rho_b
+
+    def test_nonce_reuse_across_messages_changes_signature(self, scheme, material):
+        # Binding factors make the share message-specific even with the same
+        # nonce commitment set.
+        public, shares = material
+        ids = [1, 2, 3]
+        nonces = {i: scheme.commit(shares[i - 1]) for i in ids}
+        commitments = [nonces[i][1] for i in ids]
+        z_a = scheme.sign_round(shares[0], b"a", nonces[1][0], commitments)
+        z_b = scheme.sign_round(shares[0], b"b", nonces[1][0], commitments)
+        assert z_a.z != z_b.z
+
+    def test_wrong_message_verification_fails(self, scheme, material):
+        public, _ = material
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 3], b"x")
+        signature = scheme.combine(public, b"x", z_shares, commitments)
+        with pytest.raises(InvalidSignatureError):
+            scheme.verify(public, b"y", signature)
+
+
+class TestSerialization:
+    def test_commitment_round_trip(self, scheme, material):
+        public, shares = material
+        _, commitment = scheme.commit(shares[0])
+        restored = NonceCommitment.from_bytes(commitment.to_bytes(), public.group)
+        assert restored == commitment
+
+    def test_share_round_trip(self, scheme, material):
+        public, _ = material
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 3], b"s")
+        restored = Kg20SignatureShare.from_bytes(z_shares[0].to_bytes())
+        scheme.verify_signature_share(public, b"s", restored, commitments)
+
+    def test_signature_round_trip(self, scheme, material):
+        public, _ = material
+        commitments, z_shares = run_signing(scheme, material, [1, 2, 3], b"s")
+        signature = scheme.combine(public, b"s", z_shares, commitments)
+        restored = Kg20Signature.from_bytes(signature.to_bytes(), public.group)
+        scheme.verify(public, b"s", restored)
+
+    def test_public_key_round_trip(self, material):
+        public, _ = material
+        restored = kg20.Kg20PublicKey.from_bytes(public.to_bytes())
+        assert restored.y == public.y

@@ -1,0 +1,193 @@
+"""SG02 (TDH2): CCA threshold encryption end to end and under attack."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateShareError,
+    InvalidCiphertextError,
+    InvalidShareError,
+    ThresholdNotReachedError,
+)
+from repro.schemes import sg02
+from repro.schemes.sg02 import Sg02Cipher, Sg02Ciphertext, Sg02DecryptionShare
+
+
+@pytest.fixture(scope="module")
+def cipher():
+    return Sg02Cipher()
+
+
+@pytest.fixture(scope="module")
+def material():
+    return sg02.keygen(2, 5)
+
+
+def _decrypt(cipher, public, shares, ciphertext):
+    return cipher.combine(public, ciphertext, shares)
+
+
+class TestHappyPath:
+    def test_encrypt_decrypt(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"the plaintext", b"label")
+        cipher.verify_ciphertext(public, ct)
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 2, 4)]
+        for d in dec:
+            cipher.verify_decryption_share(public, ct, d)
+        assert _decrypt(cipher, public, dec, ct) == b"the plaintext"
+
+    def test_any_quorum_works(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"msg", b"")
+        for ids in ((0, 1, 2), (1, 3, 4), (0, 2, 3)):
+            dec = [cipher.create_decryption_share(shares[i], ct) for i in ids]
+            assert _decrypt(cipher, public, dec, ct) == b"msg"
+
+    def test_extra_shares_are_fine(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"msg", b"")
+        dec = [cipher.create_decryption_share(s, ct) for s in shares]
+        assert _decrypt(cipher, public, dec, ct) == b"msg"
+
+    def test_empty_plaintext(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"", b"l")
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 1, 2)]
+        assert _decrypt(cipher, public, dec, ct) == b""
+
+    def test_large_plaintext(self, cipher, material):
+        public, shares = material
+        payload = bytes(range(256)) * 64  # 16 KiB
+        ct = cipher.encrypt(public, payload, b"l")
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 1, 2)]
+        assert _decrypt(cipher, public, dec, ct) == payload
+
+    def test_metadata(self, cipher):
+        assert cipher.info.hardness == "DL"
+        assert cipher.info.verification == "ZKP"
+        assert cipher.info.rounds == 1
+
+
+class TestCcaGuards:
+    def test_tampered_u_rejected(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        group = public.group
+        bad = Sg02Ciphertext(
+            ct.label, ct.masked_key, ct.u * group.generator(), ct.u_bar,
+            ct.e, ct.f, ct.nonce, ct.payload,
+        )
+        with pytest.raises(InvalidCiphertextError):
+            cipher.verify_ciphertext(public, bad)
+
+    def test_tampered_masked_key_rejected(self, cipher, material):
+        public, _ = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        bad = Sg02Ciphertext(
+            ct.label, bytes(32), ct.u, ct.u_bar, ct.e, ct.f, ct.nonce, ct.payload
+        )
+        with pytest.raises(InvalidCiphertextError):
+            cipher.verify_ciphertext(public, bad)
+
+    def test_tampered_label_rejected(self, cipher, material):
+        public, _ = material
+        ct = cipher.encrypt(public, b"x", b"original")
+        bad = Sg02Ciphertext(
+            b"swapped", ct.masked_key, ct.u, ct.u_bar, ct.e, ct.f, ct.nonce, ct.payload
+        )
+        with pytest.raises(InvalidCiphertextError):
+            cipher.verify_ciphertext(public, bad)
+
+    def test_nodes_refuse_invalid_ciphertext(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        bad = Sg02Ciphertext(
+            ct.label, ct.masked_key, ct.u, ct.u_bar,
+            (ct.e + 1) % public.group.order, ct.f, ct.nonce, ct.payload,
+        )
+        with pytest.raises(InvalidCiphertextError):
+            cipher.create_decryption_share(shares[0], bad)
+
+
+class TestShareValidation:
+    def test_forged_share_rejected(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        good = cipher.create_decryption_share(shares[0], ct)
+        forged = Sg02DecryptionShare(
+            good.id, good.u_i * public.group.generator(), good.proof
+        )
+        with pytest.raises(InvalidShareError):
+            cipher.verify_decryption_share(public, ct, forged)
+
+    def test_share_for_other_ciphertext_rejected(self, cipher, material):
+        public, shares = material
+        ct1 = cipher.encrypt(public, b"one", b"l")
+        ct2 = cipher.encrypt(public, b"two", b"l")
+        share = cipher.create_decryption_share(shares[0], ct1)
+        with pytest.raises(InvalidShareError):
+            cipher.verify_decryption_share(public, ct2, share)
+
+    def test_share_id_out_of_range(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        good = cipher.create_decryption_share(shares[0], ct)
+        bad = Sg02DecryptionShare(99, good.u_i, good.proof)
+        with pytest.raises(InvalidShareError):
+            cipher.verify_decryption_share(public, ct, bad)
+
+    def test_combine_with_forged_share_fails_loudly(self, cipher, material):
+        # Combining unverified garbage must not produce wrong plaintext: the
+        # AEAD layer catches a bad symmetric key.
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 1)]
+        forged = Sg02DecryptionShare(
+            5, dec[0].u_i * public.group.generator(), dec[0].proof
+        )
+        with pytest.raises(InvalidShareError):
+            cipher.combine(public, ct, [*dec, forged])
+
+    def test_threshold_enforced(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        dec = [cipher.create_decryption_share(shares[i], ct) for i in (0, 1)]
+        with pytest.raises(ThresholdNotReachedError):
+            cipher.combine(public, ct, dec)
+
+    def test_duplicate_shares_rejected(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        d = cipher.create_decryption_share(shares[0], ct)
+        with pytest.raises(DuplicateShareError):
+            cipher.combine(public, ct, [d, d, d])
+
+
+class TestSerialization:
+    def test_ciphertext_round_trip(self, cipher, material):
+        public, _ = material
+        ct = cipher.encrypt(public, b"round trip", b"lbl")
+        restored = Sg02Ciphertext.from_bytes(ct.to_bytes(), public.group)
+        assert restored.to_bytes() == ct.to_bytes()
+        cipher.verify_ciphertext(public, restored)
+
+    def test_share_round_trip(self, cipher, material):
+        public, shares = material
+        ct = cipher.encrypt(public, b"x", b"l")
+        share = cipher.create_decryption_share(shares[0], ct)
+        restored = Sg02DecryptionShare.from_bytes(share.to_bytes(), public.group)
+        cipher.verify_decryption_share(public, ct, restored)
+
+    def test_public_key_round_trip(self, material):
+        public, _ = material
+        restored = sg02.Sg02PublicKey.from_bytes(public.to_bytes())
+        assert restored.h == public.h
+        assert restored.verification_keys == public.verification_keys
+        assert restored.threshold == public.threshold
+
+
+def test_randomized_encryption(cipher, material):
+    public, _ = material
+    a = cipher.encrypt(public, b"same", b"l")
+    b = cipher.encrypt(public, b"same", b"l")
+    assert a.to_bytes() != b.to_bytes()

@@ -1,0 +1,182 @@
+"""SH00 (Shoup threshold RSA): robust signing with integer ZKPs."""
+
+import pytest
+
+from repro.errors import (
+    InvalidShareError,
+    InvalidSignatureError,
+    ThresholdNotReachedError,
+)
+from repro.rsa.keygen import modulus_for_bits
+from repro.schemes import sh00
+from repro.schemes.sh00 import (
+    Sh00Signature,
+    Sh00SignatureScheme,
+    Sh00SignatureShare,
+    _full_domain_hash,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return Sh00SignatureScheme()
+
+
+@pytest.fixture(scope="module")
+def material(small_modulus):
+    return sh00.keygen(2, 5, modulus=small_modulus)
+
+
+class TestHappyPath:
+    def test_sign_verify(self, scheme, material):
+        public, shares = material
+        msg = b"sign me"
+        partials = [scheme.partial_sign(shares[i], msg) for i in (0, 2, 4)]
+        for p in partials:
+            scheme.verify_signature_share(public, msg, p)
+        signature = scheme.combine(public, msg, partials)
+        scheme.verify(public, msg, signature)
+
+    def test_signature_is_plain_rsa(self, scheme, material):
+        # y^e == H(m)² mod n: verifiable with no threshold machinery at all.
+        public, shares = material
+        msg = b"plain rsa"
+        partials = [scheme.partial_sign(shares[i], msg) for i in (0, 1, 2)]
+        signature = scheme.combine(public, msg, partials)
+        x = _full_domain_hash(msg, public.n)
+        assert pow(signature.value, public.e, public.n) == x
+
+    def test_any_quorum(self, scheme, material):
+        public, shares = material
+        msg = b"quorums"
+        for ids in ((0, 1, 2), (2, 3, 4), (0, 2, 4)):
+            partials = [scheme.partial_sign(shares[i], msg) for i in ids]
+            scheme.verify(public, msg, scheme.combine(public, msg, partials))
+
+    def test_deterministic_signature_value(self, scheme, material):
+        # RSA-FDH: any quorum assembles the *same* signature.
+        public, shares = material
+        msg = b"unique"
+        sig_a = scheme.combine(
+            public, msg, [scheme.partial_sign(shares[i], msg) for i in (0, 1, 2)]
+        )
+        sig_b = scheme.combine(
+            public, msg, [scheme.partial_sign(shares[i], msg) for i in (2, 3, 4)]
+        )
+        assert sig_a.value == sig_b.value
+
+    def test_fixture_modulus_flow(self, scheme):
+        public, shares = sh00.keygen(1, 4, bits=512)
+        msg = b"fixture 512"
+        partials = [scheme.partial_sign(shares[i], msg) for i in (0, 3)]
+        for p in partials:
+            scheme.verify_signature_share(public, msg, p)
+        scheme.verify(public, msg, scheme.combine(public, msg, partials))
+
+    def test_metadata(self, scheme):
+        assert scheme.info.hardness == "RSA"
+        assert scheme.info.verification == "ZKP"
+
+
+class TestNegativePaths:
+    def test_wrong_message_rejected(self, scheme, material):
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"msg-a") for i in (0, 1, 2)]
+        signature = scheme.combine(public, b"msg-a", partials)
+        with pytest.raises(InvalidSignatureError):
+            scheme.verify(public, b"msg-b", signature)
+
+    def test_forged_share_value_rejected(self, scheme, material):
+        public, shares = material
+        msg = b"forge"
+        good = scheme.partial_sign(shares[0], msg)
+        forged = Sh00SignatureShare(
+            good.id, (good.value * 2) % public.n, good.challenge, good.response
+        )
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, msg, forged)
+
+    def test_share_replay_across_messages_rejected(self, scheme, material):
+        public, shares = material
+        share = scheme.partial_sign(shares[0], b"message one")
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, b"message two", share)
+
+    def test_share_id_out_of_range(self, scheme, material):
+        public, shares = material
+        good = scheme.partial_sign(shares[0], b"m")
+        bad = Sh00SignatureShare(42, good.value, good.challenge, good.response)
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, b"m", bad)
+
+    def test_share_value_out_of_range(self, scheme, material):
+        public, shares = material
+        good = scheme.partial_sign(shares[0], b"m")
+        bad = Sh00SignatureShare(good.id, 0, good.challenge, good.response)
+        with pytest.raises(InvalidShareError):
+            scheme.verify_signature_share(public, b"m", bad)
+
+    def test_threshold_enforced(self, scheme, material):
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"m") for i in (0, 1)]
+        with pytest.raises(ThresholdNotReachedError):
+            scheme.combine(public, b"m", partials)
+
+    def test_tampered_signature_rejected(self, scheme, material):
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"m") for i in (0, 1, 2)]
+        sig = scheme.combine(public, b"m", partials)
+        with pytest.raises(InvalidSignatureError):
+            scheme.verify(public, b"m", Sh00Signature(sig.value + 1))
+
+    def test_party_count_must_stay_below_exponent(self, small_modulus):
+        with pytest.raises(InvalidSignatureError):
+            sh00.keygen(2, 70000, modulus=small_modulus)
+
+
+class TestFullDomainHash:
+    def test_in_range_and_square(self, material):
+        public, _ = material
+        x = _full_domain_hash(b"anything", public.n)
+        assert 0 < x < public.n
+
+    def test_deterministic(self, material):
+        public, _ = material
+        assert _full_domain_hash(b"a", public.n) == _full_domain_hash(b"a", public.n)
+
+    def test_distinct_messages(self, material):
+        public, _ = material
+        assert _full_domain_hash(b"a", public.n) != _full_domain_hash(b"b", public.n)
+
+
+class TestSerialization:
+    def test_share_round_trip(self, scheme, material):
+        public, shares = material
+        share = scheme.partial_sign(shares[0], b"ser")
+        restored = Sh00SignatureShare.from_bytes(share.to_bytes())
+        scheme.verify_signature_share(public, b"ser", restored)
+
+    def test_signature_round_trip(self, scheme, material):
+        public, shares = material
+        partials = [scheme.partial_sign(shares[i], b"ser") for i in (0, 1, 2)]
+        sig = scheme.combine(public, b"ser", partials)
+        restored = Sh00Signature.from_bytes(sig.to_bytes())
+        scheme.verify(public, b"ser", restored)
+
+    def test_public_key_round_trip(self, material):
+        public, _ = material
+        restored = sh00.Sh00PublicKey.from_bytes(public.to_bytes())
+        assert restored.n == public.n
+        assert restored.verification_keys == public.verification_keys
+
+
+@pytest.mark.slow
+def test_larger_fixture_sizes():
+    """1024-bit modulus end-to-end (the paper also benchmarks 2048/4096)."""
+    scheme = Sh00SignatureScheme()
+    public, shares = sh00.keygen(1, 4, bits=1024)
+    msg = b"big modulus"
+    partials = [scheme.partial_sign(shares[i], msg) for i in (1, 2)]
+    for p in partials:
+        scheme.verify_signature_share(public, msg, p)
+    scheme.verify(public, msg, scheme.combine(public, msg, partials))

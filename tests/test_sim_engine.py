@@ -1,0 +1,219 @@
+"""DES engine, latency model, cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.costs import calibrated_cost_model, measured_cost_model
+from repro.sim.events import FifoCpu, Simulator
+from repro.sim.latency import LatencyModel, Region, assign_regions, rtt
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == pytest.approx(0.3)
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, lambda: order.append(1))
+        sim.schedule(0.1, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(0.5, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(until=1.5)
+        assert seen == [1]
+        assert sim.pending == 1
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestFifoCpu:
+    def test_sequential_execution(self):
+        sim = Simulator()
+        cpu = FifoCpu(sim)
+        finishes = []
+        cpu.submit(lambda: 1.0, lambda: finishes.append(sim.now))
+        cpu.submit(lambda: 2.0, lambda: finishes.append(sim.now))
+        sim.run()
+        assert finishes == [1.0, 3.0]
+        assert cpu.busy_time == pytest.approx(3.0)
+        assert cpu.jobs_executed == 2
+
+    def test_cost_fn_sees_latest_state(self):
+        # The second job's cost is decided when it STARTS, after job one
+        # mutated the flag — the residual-message drop pattern.
+        sim = Simulator()
+        cpu = FifoCpu(sim)
+        state = {"finished": False}
+
+        def finish_first():
+            state["finished"] = True
+
+        cpu.submit(lambda: 1.0, finish_first)
+        costs = []
+
+        def second_cost():
+            cost = 0.1 if state["finished"] else 5.0
+            costs.append(cost)
+            return cost
+
+        cpu.submit(second_cost, None)
+        sim.run()
+        assert costs == [0.1]
+
+    def test_idle_cpu_starts_immediately(self):
+        sim = Simulator()
+        cpu = FifoCpu(sim)
+        done = []
+        sim.schedule(5.0, lambda: cpu.submit(lambda: 1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [6.0]
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        cpu = FifoCpu(sim)
+        # The CPU is idle, so the job starts (and its cost is checked) at
+        # submission time.
+        with pytest.raises(SimulationError):
+            cpu.submit(lambda: -1.0, None)
+
+    def test_utilization(self):
+        sim = Simulator()
+        cpu = FifoCpu(sim)
+        cpu.submit(lambda: 2.0, None)
+        sim.run()
+        assert cpu.utilization(4.0) == pytest.approx(0.5)
+        assert cpu.utilization(0.0) == 0.0
+
+
+class TestLatencyModel:
+    def test_rtt_symmetric(self):
+        assert rtt(Region.FRA1, Region.SYD1) == rtt(Region.SYD1, Region.FRA1)
+
+    def test_intra_region_is_local(self):
+        assert rtt(Region.FRA1, Region.FRA1) == pytest.approx(0.00065)
+
+    def test_table2_values(self):
+        # ≈100ms and ≈43ms are the two representative global figures.
+        assert rtt(Region.FRA1, Region.SYD1) == pytest.approx(0.100)
+        assert rtt(Region.TOR1, Region.SFO3) == pytest.approx(0.043)
+
+    def test_one_way_is_half_rtt_with_jitter(self):
+        model = LatencyModel(jitter_fraction=0.05, seed=1)
+        samples = [model.one_way(Region.FRA1, Region.SYD1) for _ in range(100)]
+        base = 0.05
+        assert all(0.7 * base < s < 1.4 * base for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_zero_jitter_is_deterministic(self):
+        model = LatencyModel(jitter_fraction=0.0)
+        assert model.one_way(Region.FRA1, Region.TOR1) == pytest.approx(0.05)
+
+    def test_average_rtt(self):
+        model = LatencyModel()
+        local = model.average_rtt([Region.FRA1, Region.FRA1])
+        assert local == pytest.approx(0.00065)
+
+    def test_assign_regions_round_robin(self):
+        regions = assign_regions(6, [Region.FRA1, Region.SYD1])
+        assert regions == [
+            Region.FRA1, Region.SYD1, Region.FRA1,
+            Region.SYD1, Region.FRA1, Region.SYD1,
+        ]
+
+    def test_assign_regions_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assign_regions(3, [])
+
+
+class TestCostModel:
+    def test_hardness_ordering(self):
+        """The paper's central cost hierarchy: ECDH < pairings < RSA."""
+        model = calibrated_cost_model()
+        ecdh = model.for_scheme("sg02")
+        pairing = model.for_scheme("bls04")
+        rsa = model.for_scheme("sh00")
+        assert ecdh.share_verify < pairing.share_verify < rsa.share_verify
+        assert ecdh.share_gen < rsa.share_gen
+
+    def test_cipher_request_includes_validity_check(self):
+        model = calibrated_cost_model()
+        # Ciphers verify the ciphertext on admission; signatures do not.
+        assert (
+            model.for_scheme("bz03").request_fixed
+            > model.for_scheme("bls04").request_fixed
+        )
+
+    def test_rsa_bits_scaling(self):
+        small = calibrated_cost_model(rsa_bits=1024).for_scheme("sh00")
+        large = calibrated_cost_model(rsa_bits=4096).for_scheme("sh00")
+        assert large.share_gen > 8 * small.share_gen  # ~cubic in modulus bits
+
+    def test_message_cost_grows_with_parties_then_caps(self):
+        costs = calibrated_cost_model().for_scheme("sg02")
+        assert costs.message(7) < costs.message(31)
+        assert costs.message(127) == costs.message(costs.per_party_cap)
+
+    def test_combine_grows_with_quorum(self):
+        costs = calibrated_cost_model().for_scheme("sg02")
+        assert costs.combine(11) > costs.combine(3)
+
+    def test_payload_effect_is_negligible(self):
+        # Hybrid encryption: 4 KiB adds well under a microsecond.
+        costs = calibrated_cost_model().for_scheme("sg02")
+        assert costs.request(4096) - costs.request(256) < 1e-5
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrated_cost_model().for_scheme("rot13")
+
+    def test_kg20_has_interactive_costs(self):
+        costs = calibrated_cost_model().for_scheme("kg20")
+        assert costs.commit_gen > 0
+        assert costs.round2_per_party > 0
+
+    def test_schemes_listing(self):
+        assert calibrated_cost_model().schemes() == [
+            "bls04", "bz03", "cks05", "kg20", "sg02", "sh00",
+        ]
+
+    @pytest.mark.slow
+    def test_measured_model_preserves_ordering(self):
+        model = measured_cost_model()
+        assert (
+            model.for_scheme("sg02").share_verify
+            < model.for_scheme("bls04").share_verify
+        )

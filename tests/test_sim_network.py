@@ -1,0 +1,237 @@
+"""Simulated Θ-network: protocol flow fidelity, metrics, experiments."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cluster import SimulatedThetaNetwork
+from repro.sim.costs import calibrated_cost_model
+from repro.sim.deployments import DEPLOYMENTS, Deployment, get_deployment
+from repro.sim.experiments import capacity_test, payload_sweep, run_once, steady_state
+from repro.sim.latency import Region
+from repro.sim.metrics import (
+    ExperimentMetrics,
+    find_knee,
+    latency_fairness_index,
+    latency_percentile,
+    residual_delay_factor,
+    summarize,
+    throughput_of,
+)
+from repro.sim.workload import Workload
+
+TINY = Deployment("TINY-4-L", "tiny", 4, 1, (Region.FRA1,), 64)
+TINY_G = Deployment(
+    "TINY-4-G", "tiny", 4, 1,
+    (Region.FRA1, Region.SYD1, Region.TOR1, Region.SFO3), 64,
+)
+
+
+class TestDeployments:
+    def test_table2_rows_present(self):
+        assert set(DEPLOYMENTS) == {
+            "DO-7-L", "DO-7-G", "DO-31-L", "DO-31-G", "DO-127-L", "DO-127-G",
+        }
+
+    def test_bft_thresholds(self):
+        # n = 3t+1 with quorum t+1: 3-of-7, 11-of-31, 43-of-127.
+        assert get_deployment("DO-7-L").quorum == 3
+        assert get_deployment("DO-31-G").quorum == 11
+        assert get_deployment("DO-127-G").quorum == 43
+
+    def test_rates_double_up_to_max(self):
+        assert get_deployment("DO-127-L").rates() == [1, 2, 4, 8, 16, 32, 64]
+        assert get_deployment("DO-7-L").rates()[-1] == 1024
+
+    def test_region_assignment(self):
+        regions = get_deployment("DO-31-G").node_regions()
+        assert len(regions) == 31
+        assert len(set(regions)) == 4
+
+    def test_unknown_deployment(self):
+        with pytest.raises(Exception):
+            get_deployment("DO-9000-X")
+
+
+class TestWorkload:
+    def test_request_count(self):
+        assert Workload(rate=10, duration=3).request_count == 30
+
+    def test_cap(self):
+        assert Workload(rate=100, duration=10, max_requests=50).request_count == 50
+
+    def test_effective_duration(self):
+        w = Workload(rate=100, duration=10, max_requests=50)
+        assert w.effective_duration == pytest.approx(0.5)
+
+    def test_arrival_times_sorted_and_bounded(self):
+        w = Workload(rate=20, duration=2)
+        times = w.arrival_times()
+        assert len(times) == 40
+        assert times == sorted(times)
+        assert all(0 <= t <= 2.1 for t in times)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            Workload(rate=0, duration=1)
+        with pytest.raises(Exception):
+            Workload(rate=1, duration=0)
+
+
+class TestClusterSimulation:
+    def test_all_requests_complete_at_low_load(self):
+        net = SimulatedThetaNetwork(TINY, "sg02")
+        result = net.run(Workload(rate=2, duration=2))
+        assert len(result.request_first_finish) == 4
+        finished = [s for s in result.samples if s.finished_at is not None]
+        assert len(finished) == 4 * 4  # every node, every request
+
+    def test_latency_bounded_below_by_crypto(self):
+        net = SimulatedThetaNetwork(TINY, "sh00")
+        result = net.run(Workload(rate=1, duration=2))
+        costs = calibrated_cost_model().for_scheme("sh00")
+        floor = costs.request(256) + costs.share_gen
+        for s in result.samples:
+            assert s.latency is not None and s.latency > floor
+
+    def test_global_deployment_adds_network_latency(self):
+        local = SimulatedThetaNetwork(TINY, "sg02").run(Workload(rate=1, duration=2))
+        global_ = SimulatedThetaNetwork(TINY_G, "sg02").run(Workload(rate=1, duration=2))
+        l_local = max(s.latency for s in local.samples)
+        l_global = max(s.latency for s in global_.samples)
+        assert l_global > l_local + 0.02  # ≥ one WAN hop
+
+    def test_kg20_two_rounds_cost_two_network_trips(self):
+        one_round = SimulatedThetaNetwork(TINY_G, "bls04").run(
+            Workload(rate=1, duration=2)
+        )
+        two_rounds = SimulatedThetaNetwork(TINY_G, "kg20").run(
+            Workload(rate=1, duration=2)
+        )
+        assert max(s.latency for s in two_rounds.samples) > max(
+            s.latency for s in one_round.samples
+        )
+
+    def test_kg20_waits_for_all_nodes(self):
+        # FROST's fixed signing group: per-request node finish times cluster.
+        net = SimulatedThetaNetwork(TINY_G, "kg20")
+        result = net.run(Workload(rate=1, duration=2))
+        by_request = {}
+        for s in result.samples:
+            by_request.setdefault(s.request_id, []).append(s.finished_at)
+        for finishes in by_request.values():
+            spread = max(finishes) - min(finishes)
+            assert spread < 0.12  # within one WAN delivery of each other
+
+    def test_deterministic_given_seed(self):
+        a = SimulatedThetaNetwork(TINY, "sg02").run(Workload(rate=4, duration=1, seed=3))
+        b = SimulatedThetaNetwork(TINY, "sg02").run(Workload(rate=4, duration=1, seed=3))
+        assert [s.finished_at for s in a.samples] == [s.finished_at for s in b.samples]
+
+    def test_utilization_grows_with_rate(self):
+        low = SimulatedThetaNetwork(TINY, "bls04").run(Workload(rate=1, duration=2))
+        high = SimulatedThetaNetwork(TINY, "bls04").run(Workload(rate=16, duration=2))
+        assert max(high.cpu_utilization.values()) > max(low.cpu_utilization.values())
+
+    def test_kg20_over_tob_adds_sequencer_hop(self):
+        direct = SimulatedThetaNetwork(TINY_G, "kg20").run(Workload(rate=1, duration=1))
+        via_tob = SimulatedThetaNetwork(TINY_G, "kg20", kg20_over_tob=True).run(
+            Workload(rate=1, duration=1)
+        )
+        assert max(s.latency for s in via_tob.samples) > max(
+            s.latency for s in direct.samples
+        )
+
+
+class TestMetrics:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert latency_percentile(values, 50) == pytest.approx(2.5)
+        assert latency_percentile(values, 100) == 4.0
+        assert latency_percentile([7.0], 95) == 7.0
+
+    def test_percentile_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            latency_percentile([], 50)
+
+    def test_delta_res_and_eta_inverse_relation(self):
+        # δ_res and η_θ are inversely related (§4.3).
+        delta = residual_delay_factor(0.1, 0.3)
+        eta = latency_fairness_index(0.1, 0.3)
+        assert delta == pytest.approx(2.0)
+        assert eta == pytest.approx(1 / 3)
+        assert eta == pytest.approx(1.0 / (1.0 + delta))
+
+    def test_equal_latencies_are_perfectly_fair(self):
+        assert residual_delay_factor(0.2, 0.2) == 0.0
+        assert latency_fairness_index(0.2, 0.2) == 1.0
+
+    def test_summarize_fields(self):
+        result = SimulatedThetaNetwork(TINY, "cks05").run(Workload(rate=2, duration=2))
+        metrics = summarize(result, TINY.quorum, TINY.parties)
+        assert metrics.completed == 4
+        assert metrics.l50 <= metrics.l95
+        assert 0 < metrics.eta_theta <= 1.0
+        assert metrics.delta_res >= 0
+        assert metrics.throughput > 0
+
+    def test_throughput_counts_grace_window(self):
+        result = SimulatedThetaNetwork(TINY, "sg02").run(Workload(rate=4, duration=2))
+        tput, completed = throughput_of(result)
+        assert completed == 8
+        assert tput == pytest.approx(4, rel=0.6)
+
+    def test_find_knee_prefers_best_ratio(self):
+        def fake(rate, tput, l95):
+            return ExperimentMetrics(
+                "s", "d", rate, 256, 10, 10, tput, l95, l95,
+                l95, l95, l95, 0.0, 1.0, 0.5, 0.5,
+            )
+
+        points = [fake(1, 1, 0.01), fake(2, 2, 0.011), fake(4, 3.0, 0.1)]
+        assert find_knee(points).rate == 2
+
+    def test_find_knee_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            find_knee([])
+
+    def test_saturation_returns_upper_bound_latency(self):
+        # Drown a tiny deployment: nothing completes inside the grace window.
+        result = SimulatedThetaNetwork(TINY, "sh00").run(
+            Workload(rate=2000, duration=0.05, max_requests=100)
+        )
+        metrics = summarize(result, TINY.quorum, TINY.parties)
+        assert metrics.completed == 0
+        assert metrics.throughput == 0.0
+        assert metrics.l95 == pytest.approx(
+            result.workload.effective_duration * 1.1
+        )
+
+
+class TestExperiments:
+    def test_capacity_curve_latency_explodes_past_knee(self):
+        points = capacity_test(TINY, "bls04", rates=[1, 16, 64, 512], duration=2.0)
+        assert len(points) == 4
+        assert points[-1].l95 > 10 * points[0].l95
+
+    def test_knee_is_interior_or_boundary(self):
+        points = capacity_test(TINY, "sg02", rates=[1, 4, 16, 64], duration=2.0)
+        knee = find_knee(points)
+        assert knee.rate in (1, 4, 16, 64)
+        assert knee.l95 < 0.2  # knees sit before the latency wall
+
+    def test_payload_sweep_is_flat(self):
+        """Fig. 5b: hybrid encryption makes latency payload-insensitive."""
+        points = payload_sweep(
+            TINY, "sg02", rate=4, payload_sizes=(256, 4096), duration=4.0
+        )
+        small, big = points[0], points[1]
+        assert big.l_theta_net < small.l_theta_net * 1.15
+
+    def test_steady_state_uses_more_samples(self):
+        m = steady_state(TINY, "cks05", rate=8, duration=8.0, max_requests=64)
+        assert m.offered == 64
+
+    def test_run_once_kg20_over_tob_flag(self):
+        base = run_once(TINY_G, "kg20", 1, 1.0)
+        tob = run_once(TINY_G, "kg20", 1, 1.0, kg20_over_tob=True)
+        assert tob.l95 > base.l95

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Trusted-dealer CLI: generate configs and keystores for a Θ-network.
+
+    python3 tools/deal_keys.py --parties 4 --threshold 1 \
+        --schemes bls04,sg02,cks05 --out deployment/
+
+Writes, under ``deployment/``:
+
+* ``node<i>/config.json``   — NodeConfig for each node (TCP transport);
+* ``node<i>/keystore.json`` — that node's private key shares;
+* ``public_keys.json``     — scheme → public key, for clients.
+
+Then start each node with ``python3 -m repro.service.daemon``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.schemes import generate_keys  # noqa: E402
+from repro.schemes.keystore import export_public_key, node_keystore  # noqa: E402
+from repro.serialization import hexlify  # noqa: E402
+from repro.service.config import make_local_configs  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parties", type=int, default=4)
+    parser.add_argument("--threshold", type=int, default=1)
+    parser.add_argument(
+        "--schemes", default="bls04,sg02,cks05",
+        help="comma-separated scheme list (key id = scheme name)",
+    )
+    parser.add_argument("--rsa-bits", type=int, default=2048)
+    parser.add_argument("--base-port", type=int, default=17000)
+    parser.add_argument("--rpc-base-port", type=int, default=18000)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--out", default="deployment")
+    args = parser.parse_args()
+
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    material = {
+        scheme: generate_keys(
+            scheme, args.threshold, args.parties, rsa_bits=args.rsa_bits
+        )
+        for scheme in schemes
+    }
+    configs = make_local_configs(
+        args.parties,
+        args.threshold,
+        base_port=args.base_port,
+        rpc_base_port=args.rpc_base_port,
+        host=args.host,
+    )
+
+    out = pathlib.Path(args.out)
+    for config in configs:
+        node_dir = out / f"node{config.node_id}"
+        node_dir.mkdir(parents=True, exist_ok=True)
+        (node_dir / "config.json").write_text(config.to_json())
+        (node_dir / "keystore.json").write_text(
+            node_keystore(material, config.node_id)
+        )
+    public = {
+        scheme: hexlify(export_public_key(scheme, km.public_key))
+        for scheme, km in material.items()
+    }
+    (out / "public_keys.json").write_text(json.dumps(public, indent=2))
+    print(
+        f"dealt {len(schemes)} keys for a {args.threshold + 1}-of-{args.parties} "
+        f"network under {out}/"
+    )
+    print("start nodes with:")
+    for config in configs:
+        print(
+            f"  python3 -m repro.service.daemon "
+            f"--config {out}/node{config.node_id}/config.json "
+            f"--keystore {out}/node{config.node_id}/keystore.json"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Editable install fallback for offline environments.
+
+``pip install -e .`` needs the ``wheel`` package to build PEP 660 metadata;
+on machines without it (and without network) this script drops an equivalent
+``.pth`` file into site-packages so ``import repro`` resolves to ``src/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import site
+import sys
+
+
+def main() -> None:
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if not (src / "repro").is_dir():
+        sys.exit(f"cannot find package under {src}")
+    target = pathlib.Path(site.getsitepackages()[0]) / "repro-editable.pth"
+    target.write_text(str(src) + "\n")
+    print(f"wrote {target} -> {src}")
+
+
+if __name__ == "__main__":
+    main()
