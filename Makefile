@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast examples fixtures clean
+.PHONY: install test test-fast bench bench-fast check examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -18,6 +18,13 @@ bench:
 
 bench-fast:
 	REPRO_FAST=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Tier-1 gate: full test suite plus a microbenchmark smoke run.  Sets
+# PYTHONPATH so it works without `make install`.
+check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+	PYTHONPATH=src REPRO_FAST=1 $(PYTHON) -m pytest \
+		benchmarks/bench_micro_primitives.py --benchmark-disable -q
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -8,8 +8,13 @@ ECDH ops < pairing ops < RSA ops.
 
 import pytest
 
-from repro.groups import get_group
+from repro.groups import fixed_base_table, get_group, precompute_stats
 from repro.groups.bn254 import bn254_pairing
+from repro.mathutils.lagrange import (
+    clear_lagrange_cache,
+    lagrange_cache_stats,
+    lagrange_coefficients_at_zero,
+)
 from repro.rsa.keygen import modulus_for_bits
 from repro.schemes import generate_keys, get_scheme
 from repro.symmetric import ChaCha20Poly1305
@@ -21,6 +26,46 @@ def test_ed25519_scalar_mult(benchmark):
     group = get_group("ed25519")
     base = group.generator()
     benchmark(lambda: base**SCALAR)
+
+
+def test_ed25519_fixed_base_scalar_mult(benchmark):
+    group = get_group("ed25519")
+    table = fixed_base_table(group.generator())
+    benchmark(lambda: table.pow(SCALAR))
+
+
+def test_secp256k1_fixed_base_scalar_mult(benchmark):
+    group = get_group("secp256k1")
+    table = fixed_base_table(group.generator())
+    benchmark(lambda: table.pow(SCALAR))
+
+
+def test_bn254_g1_fixed_base_scalar_mult(benchmark):
+    table = fixed_base_table(bn254_pairing().g1.generator())
+    benchmark(lambda: table.pow(SCALAR))
+
+
+def test_bn254_g2_fixed_base_scalar_mult(benchmark):
+    table = fixed_base_table(bn254_pairing().g2.generator())
+    benchmark(lambda: table.pow(SCALAR))
+
+
+def test_lagrange_coefficients_uncached(benchmark):
+    q = get_group("ed25519").order
+    ids = list(range(1, 12))
+
+    def run():
+        clear_lagrange_cache()
+        return lagrange_coefficients_at_zero(ids, q)
+
+    benchmark(run)
+
+
+def test_lagrange_coefficients_cached(benchmark):
+    q = get_group("ed25519").order
+    ids = list(range(1, 12))
+    lagrange_coefficients_at_zero(ids, q)  # warm
+    benchmark(lambda: lagrange_coefficients_at_zero(ids, q))
 
 
 def test_bn254_g1_scalar_mult(benchmark):
@@ -107,6 +152,90 @@ def test_kg20_sign_round(benchmark, keys_by_scheme):
             keys.share_for(1), b"bench", nonces[1][0], commitments
         )
     )
+
+
+def test_precompute_speedup_report(benchmark):
+    """Before/after numbers for the precomputation layer (ISSUE 1 witness).
+
+    Fixed-base exponentiation must beat naive double-and-add on every curve,
+    and warm-cache t-of-n combine must beat the cold path for at least two
+    schemes.  Printed so the numbers land in the benchmark log.
+    """
+    import time
+
+    def best_of(fn, repeat=3):
+        times = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    print()
+    for name in ("ed25519", "secp256k1", "bn254g1", "bn254g2"):
+        group = get_group(name)
+        base = group.generator()
+        table = fixed_base_table(base)
+        naive = best_of(lambda: base**SCALAR)
+        fast = best_of(lambda: table.pow(SCALAR))
+        print(
+            f"fixed-base {name}: naive {naive*1e3:.2f} ms -> table "
+            f"{fast*1e3:.2f} ms ({naive/fast:.1f}x)"
+        )
+        assert fast < naive
+
+    # t-of-n share combination: the seed path (per-share double-and-add plus
+    # per-coefficient inversions) vs the new path (cached Lagrange sets with
+    # one batched inversion + interleaved Straus multi-exp).
+    from repro.mathutils.lagrange import lagrange_coefficient
+
+    combine_speedups = {}
+    for scheme_name in ("cks05", "bls04"):
+        keys = generate_keys(scheme_name, 2, 5)
+        scheme = get_scheme(scheme_name)
+        # Non-consecutive responder ids: consecutive ids (1, 2, 3) have
+        # binomial-sized Lagrange coefficients, which would make the seed
+        # path artificially cheap (one full-size exponentiation instead of
+        # three).  Ids (1, 3, 5) are the realistic any-t+1-responders case.
+        if scheme_name == "cks05":
+            shares = [
+                scheme.create_coin_share(keys.share_for(i), b"bench") for i in (1, 3, 5)
+            ]
+            group = keys.public_key.group
+            elements = [s.sigma for s in shares]
+        else:
+            shares = [
+                scheme.partial_sign(keys.share_for(i), b"bench") for i in (1, 3, 5)
+            ]
+            group = keys.public_key.pairing.g1
+            elements = [s.sigma for s in shares]
+        ids = [s.id for s in shares]
+
+        def seed_path():
+            coefficients = {
+                i: lagrange_coefficient(ids, i, 0, group.order) for i in ids
+            }
+            acc = group.identity()
+            for element, i in zip(elements, ids):
+                acc = acc * element ** coefficients[i]
+            return acc
+
+        def new_path():
+            coefficients = lagrange_coefficients_at_zero(ids, group.order)
+            return group.multi_exp(elements, [coefficients[i] for i in ids])
+
+        assert seed_path() == new_path()
+        before = best_of(seed_path)
+        after = best_of(new_path)
+        combine_speedups[scheme_name] = before / after
+        print(
+            f"combine core {scheme_name} (t=2): seed {before*1e3:.2f} ms -> new "
+            f"{after*1e3:.2f} ms ({before/after:.2f}x)"
+        )
+    print(f"fixed-base cache: {precompute_stats()}")
+    print(f"lagrange cache:   {lagrange_cache_stats()}")
+    assert all(s > 1.0 for s in combine_speedups.values())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
 def test_relative_cost_hierarchy(benchmark):

@@ -8,6 +8,8 @@ each row is actually implemented.
 
 import pytest
 
+from repro.groups import precompute_stats
+from repro.mathutils.lagrange import lagrange_cache_stats
 from repro.schemes import SCHEME_TABLE, generate_keys, get_scheme
 from repro.schemes.base import SchemeKind
 
@@ -74,3 +76,25 @@ def test_table1_scheme_is_functional(benchmark, name, small_modulus):
             assert len(scheme.combine(keys.public_key, b"bench", shares)) == 32
 
     benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+
+def test_table1_cache_counters(benchmark):
+    """Precompute-layer counters accumulated by the scheme runs above.
+
+    Warm fixed-base tables (generators, verification keys) and cached
+    Lagrange sets are what make the per-scheme numbers representative of a
+    long-running service node rather than a cold process.
+    """
+    fixed = precompute_stats()
+    lagrange = lagrange_cache_stats()
+    print_table(
+        "Precompute caches after Table 1 runs",
+        ["Cache", "Hits", "Misses", "Entries", "Capacity"],
+        [
+            ["fixed-base", fixed["hits"], fixed["misses"], fixed["tables"],
+             fixed["capacity"]],
+            ["lagrange", lagrange["hits"], lagrange["misses"], lagrange["size"],
+             lagrange["capacity"]],
+        ],
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

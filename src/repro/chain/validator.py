@@ -102,7 +102,7 @@ class ValidatorNode:
         await self._transport.start()
         if self.bridge is not None:
             await self.bridge.start()
-        self._executor_task = asyncio.get_event_loop().create_task(
+        self._executor_task = asyncio.get_running_loop().create_task(
             self._execute_committed()
         )
 

@@ -39,9 +39,16 @@ class ProtocolExecutor:
         self._send = send
         self._timeout = timeout
         self.inbox: asyncio.Queue[ProtocolMessage] = asyncio.Queue()
-        self.result_future: asyncio.Future[bytes] = (
-            asyncio.get_event_loop().create_future()
-        )
+        # Created lazily: the executor may be constructed before the event
+        # loop runs, and get_event_loop() outside a running loop is both
+        # deprecated and a cross-loop hazard.
+        self._result_future: asyncio.Future[bytes] | None = None
+
+    @property
+    def result_future(self) -> "asyncio.Future[bytes]":
+        if self._result_future is None:
+            self._result_future = asyncio.get_running_loop().create_future()
+        return self._result_future
 
     async def deliver(self, message: ProtocolMessage) -> None:
         """Called by the instance manager for every routed network message."""

@@ -60,7 +60,7 @@ class InstanceManager:
         )
         self._records[instance_id] = record
         self._executors[instance_id] = executor
-        task = asyncio.get_event_loop().create_task(executor.run())
+        task = asyncio.get_running_loop().create_task(executor.run())
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
         # Drain messages that beat the request to this node.

@@ -10,6 +10,23 @@ families:
 """
 
 from .base import Group, GroupElement
+from .precompute import (
+    FixedBaseTable,
+    clear_precompute_cache,
+    fixed_base_table,
+    fixed_pow,
+    precompute_stats,
+)
 from .registry import get_group, list_groups
 
-__all__ = ["Group", "GroupElement", "get_group", "list_groups"]
+__all__ = [
+    "Group",
+    "GroupElement",
+    "FixedBaseTable",
+    "clear_precompute_cache",
+    "fixed_base_table",
+    "fixed_pow",
+    "precompute_stats",
+    "get_group",
+    "list_groups",
+]

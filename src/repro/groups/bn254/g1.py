@@ -46,6 +46,9 @@ class BN254G1Element(GroupElement):
         z3 = 2 * y * z % P
         return BN254G1Element(self.group, x3, y3, z3)
 
+    def double(self) -> "BN254G1Element":
+        return self._double()
+
     def __mul__(self, other: GroupElement) -> "BN254G1Element":
         if not isinstance(other, BN254G1Element):
             return NotImplemented

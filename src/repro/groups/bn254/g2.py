@@ -45,6 +45,9 @@ class BN254G2Element(GroupElement):
         y3 = slope * (self.x - x3) - self.y
         return BN254G2Element(self.group, x3, y3)
 
+    def double(self) -> "BN254G2Element":
+        return self._double()
+
     def __mul__(self, other: GroupElement) -> "BN254G2Element":
         if not isinstance(other, BN254G2Element):
             return NotImplemented

@@ -78,6 +78,9 @@ class Ed25519Element(GroupElement):
         h = (d - b) % P
         return Ed25519Element(self.group, (e * f) % P, (g * h) % P, (f * g) % P, (e * h) % P)
 
+    def double(self) -> "Ed25519Element":
+        return self._double()
+
     def _mul_raw(self, scalar: int) -> "Ed25519Element":
         """Scalar multiplication without reduction mod L (cofactor math)."""
         result = self.group.identity()

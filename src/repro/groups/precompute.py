@@ -1,0 +1,184 @@
+"""Fixed-base exponentiation tables and the shared precomputation cache.
+
+The evaluation hot paths (§4) are dominated by scalar multiplications whose
+bases barely change: every request exponentiates the group generator, the
+service public key, or a per-party verification key.  A windowed fixed-base
+table turns one such exponentiation from ~1.5·log₂(q) group operations into
+~log₂(q)/w table lookups and multiplications, at a one-time build cost of
+roughly three naive exponentiations.
+
+Because building a table only pays off for bases that recur, the cache uses
+*promotion*: a base is exponentiated naively until it has been seen
+``promotion_threshold`` times, after which a table is built and cached in a
+bounded LRU.  Generators, public keys, and verification keys are promoted
+within the first few requests; per-request ephemeral bases (ciphertext
+``u``-values, message hashes of one-off messages) never are, so the cache
+cannot be thrashed by request traffic.
+
+All counters are exposed via :func:`precompute_stats` and surfaced through
+``ThetacryptNode.stats()`` so benchmarks can report hit rates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import GroupElement
+
+#: Window width in bits.  4 is the sweet spot for 254-/256-bit orders in
+#: pure Python: 16-entry rows keep the build cost low while cutting the
+#: online cost to ~64 multiplications.
+DEFAULT_WINDOW = 4
+
+
+class FixedBaseTable:
+    """Windowed (radix-2^w) fixed-base exponentiation table for one element.
+
+    Precomputes ``base^(d·2^(w·b))`` for every window position ``b`` and
+    digit ``d``; an exponentiation is then the product of one table entry
+    per nonzero window of the scalar — no doublings at all.
+    """
+
+    __slots__ = ("base", "order", "window", "_identity", "_rows")
+
+    def __init__(self, base: "GroupElement", window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.base = base
+        self.order = base.group.order
+        self.window = window
+        self._identity = base.group.identity()
+        radix = 1 << window
+        blocks = (self.order.bit_length() + window - 1) // window
+        rows = []
+        power = base  # base^(radix^block) at the top of each iteration
+        for _ in range(blocks):
+            row = [self._identity]
+            for _ in range(radix - 1):
+                row.append(row[-1] * power)
+            rows.append(row)
+            power = row[-1] * power
+        self._rows = rows
+
+    def pow(self, scalar: int) -> "GroupElement":
+        """``base ** scalar`` via table lookups; matches ``__pow__`` exactly."""
+        scalar %= self.order
+        result = self._identity
+        mask = (1 << self.window) - 1
+        block = 0
+        while scalar:
+            digit = scalar & mask
+            if digit:
+                result = result * self._rows[block][digit]
+            scalar >>= self.window
+            block += 1
+        return result
+
+
+class PrecomputeCache:
+    """Promotion-based LRU cache of :class:`FixedBaseTable` instances."""
+
+    def __init__(
+        self,
+        table_capacity: int = 128,
+        seen_capacity: int = 4096,
+        promotion_threshold: int = 3,
+    ):
+        self.table_capacity = table_capacity
+        self.seen_capacity = seen_capacity
+        self.promotion_threshold = promotion_threshold
+        self._tables: "OrderedDict[tuple[str, bytes], FixedBaseTable]" = OrderedDict()
+        self._seen: "OrderedDict[tuple[str, bytes], int]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.tables_built = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(base: "GroupElement") -> tuple[str, bytes]:
+        return (base.group.name, base.to_bytes())
+
+    def table_for(self, base: "GroupElement") -> FixedBaseTable:
+        """Return the cached table for ``base``, building it unconditionally."""
+        key = self._key(base)
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._tables.move_to_end(key)
+                return table
+        table = FixedBaseTable(base)
+        with self._lock:
+            self.tables_built += 1
+            self._tables[key] = table
+            self._tables.move_to_end(key)
+            while len(self._tables) > self.table_capacity:
+                self._tables.popitem(last=False)
+                self.evictions += 1
+        return table
+
+    def pow(self, base: "GroupElement", scalar: int) -> "GroupElement":
+        """``base ** scalar``, through a table once the base has recurred."""
+        key = self._key(base)
+        build = False
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._tables.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+                count = self._seen.get(key, 0) + 1
+                self._seen[key] = count
+                self._seen.move_to_end(key)
+                while len(self._seen) > self.seen_capacity:
+                    self._seen.popitem(last=False)
+                build = count >= self.promotion_threshold
+        if table is not None:
+            return table.pow(scalar)
+        if build:
+            return self.table_for(base).pow(scalar)
+        return base**scalar
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "tables_built": self.tables_built,
+                "evictions": self.evictions,
+                "tables": len(self._tables),
+                "capacity": self.table_capacity,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tables.clear()
+            self._seen.clear()
+            self.hits = self.misses = self.tables_built = self.evictions = 0
+
+
+_CACHE = PrecomputeCache()
+
+
+def fixed_pow(base: "GroupElement", scalar: int) -> "GroupElement":
+    """Process-wide cached fixed-base exponentiation (see module docstring)."""
+    return _CACHE.pow(base, scalar)
+
+
+def fixed_base_table(base: "GroupElement") -> FixedBaseTable:
+    """Force-build (or fetch) the table for ``base`` in the shared cache."""
+    return _CACHE.table_for(base)
+
+
+def precompute_stats() -> dict:
+    """Hit/size counters for the fixed-base table cache (node stats)."""
+    return _CACHE.stats()
+
+
+def clear_precompute_cache() -> None:
+    """Drop all tables and reset counters (tests/benchmarks)."""
+    _CACHE.clear()

@@ -58,6 +58,9 @@ class Secp256k1Element(GroupElement):
         z3 = 2 * y * z % P
         return Secp256k1Element(self.group, x3, y3, z3)
 
+    def double(self) -> "Secp256k1Element":
+        return self._double()
+
     def __mul__(self, other: GroupElement) -> "Secp256k1Element":
         if not isinstance(other, Secp256k1Element):
             return NotImplemented

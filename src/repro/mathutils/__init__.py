@@ -1,6 +1,7 @@
 """Number-theoretic building blocks shared by every cryptographic substrate."""
 
 from .modular import (
+    batch_inverse,
     crt_pair,
     inverse_mod,
     jacobi_symbol,
@@ -13,12 +14,17 @@ from .primes import (
     random_safe_prime,
 )
 from .lagrange import (
+    clear_lagrange_cache,
+    lagrange_cache_stats,
     lagrange_coefficient,
     lagrange_coefficients_at_zero,
     integer_lagrange_numerator_denominator,
 )
 
 __all__ = [
+    "batch_inverse",
+    "clear_lagrange_cache",
+    "lagrange_cache_stats",
     "crt_pair",
     "inverse_mod",
     "jacobi_symbol",

@@ -12,16 +12,85 @@ Two flavours are needed:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from math import factorial
+from types import MappingProxyType
 from typing import Mapping, Sequence
 
 from ..errors import CryptoError, DuplicateShareError
-from .modular import inverse_mod
+from .modular import batch_inverse, inverse_mod
 
 
 def _check_distinct(xs: Sequence[int]) -> None:
     if len(set(xs)) != len(xs):
         raise DuplicateShareError(f"duplicate interpolation points in {list(xs)}")
+
+
+class _CoefficientCache:
+    """Bounded LRU cache for at-zero coefficient sets.
+
+    Every ``combine()`` in the discrete-log schemes interpolates at zero over
+    the same handful of signer sets, so the coefficient map is keyed by
+    ``(sorted ids, modulus)`` and reused across requests.  Entries are
+    immutable mapping proxies, safe to hand to concurrent callers.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple[tuple[int, ...], int], Mapping[int, int]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple[tuple[int, ...], int]) -> Mapping[int, int] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple[tuple[int, ...], int], value: Mapping[int, int]) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+
+_CACHE = _CoefficientCache()
+
+
+def lagrange_cache_stats() -> dict:
+    """Hit/size counters for the at-zero coefficient cache (node stats)."""
+    return _CACHE.stats()
+
+
+def clear_lagrange_cache() -> None:
+    """Drop all cached coefficient sets and reset counters (tests/benchmarks)."""
+    _CACHE.clear()
 
 
 def lagrange_coefficient(xs: Sequence[int], i: int, x: int, modulus: int) -> int:
@@ -38,12 +107,47 @@ def lagrange_coefficient(xs: Sequence[int], i: int, x: int, modulus: int) -> int
     return (num * inverse_mod(den, modulus)) % modulus
 
 
+def _coefficients_at_zero_uncached(
+    xs: Sequence[int], modulus: int
+) -> dict[int, int]:
+    """One-pass computation: a single inversion serves all coefficients."""
+    numerators: list[int] = []
+    denominators: list[int] = []
+    for i in xs:
+        num, den = 1, 1
+        for j in xs:
+            if j == i:
+                continue
+            num = num * (-j) % modulus
+            den = den * (i - j) % modulus
+        numerators.append(num)
+        denominators.append(den)
+    inverses = batch_inverse(denominators, modulus)
+    return {
+        i: num * inv % modulus for i, num, inv in zip(xs, numerators, inverses)
+    }
+
+
 def lagrange_coefficients_at_zero(
     xs: Sequence[int], modulus: int
 ) -> Mapping[int, int]:
-    """All coefficients λ_i for recovering f(0) from points ``xs``."""
+    """All coefficients λ_i for recovering f(0) from points ``xs``.
+
+    Results are served from a bounded LRU cache keyed by the (unordered) set
+    of points and the modulus; the uncached path uses Montgomery batch
+    inversion so the whole set costs one ``inverse_mod``.  The returned
+    mapping is read-only.
+    """
     _check_distinct(xs)
-    return {i: lagrange_coefficient(xs, i, 0, modulus) for i in xs}
+    key = (tuple(sorted(xs)), modulus)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    entry: Mapping[int, int] = MappingProxyType(
+        _coefficients_at_zero_uncached(xs, modulus)
+    )
+    _CACHE.put(key, entry)
+    return entry
 
 
 def interpolate_at(

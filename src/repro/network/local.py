@@ -50,7 +50,7 @@ class LocalHub:
         if endpoint is None:
             raise NetworkError(f"no endpoint for node {dst}")
         delay = self._latency(src, dst) if self._latency else 0.0
-        task = asyncio.get_event_loop().create_task(
+        task = asyncio.get_running_loop().create_task(
             endpoint._receive_after(delay, src, data)
         )
         self._tasks.add(task)

@@ -50,7 +50,7 @@ class P2PProxy(P2PNetwork):
         reader, writer = await asyncio.open_connection(self._host, self._port)
         self._writer = writer
         await _write_line(writer, {"method": "attach", "node": self.node_id})
-        self._listen_task = asyncio.get_event_loop().create_task(
+        self._listen_task = asyncio.get_running_loop().create_task(
             self._listen(reader)
         )
 
@@ -101,7 +101,7 @@ class TobProxy(TotalOrderBroadcast):
         reader, writer = await asyncio.open_connection(self._host, self._port)
         self._writer = writer
         await _write_line(writer, {"method": "attach_tob", "node": self._node_id})
-        self._listen_task = asyncio.get_event_loop().create_task(
+        self._listen_task = asyncio.get_running_loop().create_task(
             self._listen(reader)
         )
 

@@ -84,7 +84,7 @@ class TcpP2P(P2PNetwork):
         except (asyncio.IncompleteReadError, NetworkError):
             writer.close()
             return
-        task = asyncio.get_event_loop().create_task(
+        task = asyncio.get_running_loop().create_task(
             self._read_loop(sender, reader)
         )
         self._reader_tasks.add(task)

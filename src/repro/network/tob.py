@@ -72,7 +72,7 @@ class SequencerTob(TotalOrderBroadcast):
         if self._block_interval > 0:
             self._block_queue.append((origin, data))
             if self._block_task is None or self._block_task.done():
-                self._block_task = asyncio.get_event_loop().create_task(
+                self._block_task = asyncio.get_running_loop().create_task(
                     self._flush_block_later()
                 )
             return

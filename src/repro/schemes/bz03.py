@@ -23,6 +23,7 @@ from ..errors import InvalidCiphertextError, InvalidShareError
 from ..groups.bn254 import BilinearGroup, bn254_pairing
 from ..groups.bn254.g1 import BN254G1Element
 from ..groups.bn254.g2 import BN254G2Element
+from ..groups.precompute import fixed_pow
 from ..mathutils.lagrange import lagrange_coefficients_at_zero
 from ..serialization import Reader, encode_bytes, encode_int
 from ..sharing.shamir import share_secret
@@ -148,8 +149,8 @@ def keygen(threshold: int, parties: int) -> tuple[Bz03PublicKey, list[Bz03KeySha
     public = Bz03PublicKey(
         threshold,
         parties,
-        g2**x,
-        tuple(g2**s.value for s in shares),
+        fixed_pow(g2, x),
+        tuple(fixed_pow(g2, s.value) for s in shares),
     )
     return public, [Bz03KeyShare(s.id, s.value, public) for s in shares]
 
@@ -185,7 +186,7 @@ class Bz03Cipher(ThresholdCipher):
         nonce = secrets.token_bytes(ChaCha20Poly1305.NONCE_SIZE)
         payload = ChaCha20Poly1305(sym_key).encrypt(nonce, plaintext, aad=label)
         r = pairing.g2.random_scalar()
-        u = pairing.g2.generator() ** r
+        u = fixed_pow(pairing.g2.generator(), r)
         h_hat = _h1(label, u)
         mask = _kdf(pairing.pair(h_hat, public_key.y) ** r)
         masked_key = _xor(sym_key, mask)
@@ -246,9 +247,10 @@ class Bz03Cipher(ThresholdCipher):
         chosen = select_shares(shares, public_key.threshold)
         ids = [share.id for share in chosen]
         coefficients = lagrange_coefficients_at_zero(ids, pairing.order)
-        delta = pairing.g1.identity()
-        for share in chosen:
-            delta = delta * share.delta ** coefficients[share.id]
+        delta = pairing.g1.multi_exp(
+            [share.delta for share in chosen],
+            [coefficients[share.id] for share in chosen],
+        )
         mask = _kdf(pairing.pair(delta, ciphertext.u))
         sym_key = _xor(ciphertext.masked_key, mask)
         try:

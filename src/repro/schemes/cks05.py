@@ -20,6 +20,7 @@ from typing import Sequence
 
 from ..errors import InvalidShareError
 from ..groups.base import Group, GroupElement
+from ..groups.precompute import fixed_pow
 from ..groups.registry import get_group
 from ..mathutils.lagrange import lagrange_coefficients_at_zero
 from ..serialization import Reader, encode_bytes, encode_int, encode_str
@@ -117,8 +118,8 @@ def keygen(
         group_name,
         threshold,
         parties,
-        group.generator() ** x,
-        tuple(group.generator() ** s.value for s in shares),
+        fixed_pow(group.generator(), x),
+        tuple(fixed_pow(group.generator(), s.value) for s in shares),
     )
     return public, [Cks05KeyShare(s.id, s.value, public) for s in shares]
 
@@ -137,9 +138,15 @@ class Cks05Coin(ThresholdCoin):
     ) -> Cks05CoinShare:
         group = key_share.public.group
         g_hat = _hash_name(group, name)
-        sigma = g_hat**key_share.value
+        sigma = fixed_pow(g_hat, key_share.value)
         proof = dleq_prove(
-            group, group.generator(), g_hat, key_share.value, context=name
+            group,
+            group.generator(),
+            g_hat,
+            key_share.value,
+            context=name,
+            h1=key_share.public.verification_key(key_share.id),
+            h2=sigma,
         )
         return Cks05CoinShare(key_share.id, sigma, proof)
 
@@ -160,6 +167,31 @@ class Cks05Coin(ThresholdCoin):
             context=name,
         )
 
+    def verify_coin_shares(
+        self, public_key: Cks05PublicKey, name: bytes, shares: Sequence[Cks05CoinShare]
+    ) -> None:
+        """Verify many shares of one coin in a single batched call."""
+        from .dleq import DleqStatement, dleq_verify_batch
+
+        for share in shares:
+            if not 1 <= share.id <= public_key.parties:
+                raise InvalidShareError(f"share id {share.id} out of range")
+        group = public_key.group
+        g_hat = _hash_name(group, name)
+        generator = group.generator()
+        statements = [
+            DleqStatement(
+                generator,
+                public_key.verification_key(share.id),
+                g_hat,
+                share.sigma,
+                share.proof,
+                context=name,
+            )
+            for share in shares
+        ]
+        dleq_verify_batch(group, statements)
+
     def combine(
         self,
         public_key: Cks05PublicKey,
@@ -170,9 +202,10 @@ class Cks05Coin(ThresholdCoin):
         chosen = select_shares(shares, public_key.threshold)
         ids = [share.id for share in chosen]
         coefficients = lagrange_coefficients_at_zero(ids, group.order)
-        value = group.identity()
-        for share in chosen:
-            value = value * share.sigma ** coefficients[share.id]
+        value = group.multi_exp(
+            [share.sigma for share in chosen],
+            [coefficients[share.id] for share in chosen],
+        )
         return hashlib.sha256(
             _VALUE_DOMAIN + encode_bytes(name) + encode_bytes(value.to_bytes())
         ).digest()

@@ -10,10 +10,12 @@ computed with the committed key share.  The proof shows
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..errors import InvalidProofError
 from ..groups.base import Group, GroupElement
+from ..groups.precompute import fixed_pow
 from ..serialization import Reader, encode_bytes, encode_int
 
 _DOMAIN = b"repro-dleq-chaum-pedersen-v1"
@@ -63,13 +65,22 @@ def dleq_prove(
     g2: GroupElement,
     secret: int,
     context: bytes = b"",
+    h1: GroupElement | None = None,
+    h2: GroupElement | None = None,
 ) -> DleqProof:
-    """Prove knowledge of ``secret`` with h1 = g1^secret, h2 = g2^secret."""
-    h1 = g1**secret
-    h2 = g2**secret
+    """Prove knowledge of ``secret`` with h1 = g1^secret, h2 = g2^secret.
+
+    Callers that already hold ``h1``/``h2`` (every scheme does: they are the
+    verification key and the share being proven) pass them in to skip the
+    two recomputation exponentiations.
+    """
+    if h1 is None:
+        h1 = fixed_pow(g1, secret)
+    if h2 is None:
+        h2 = fixed_pow(g2, secret)
     r = group.random_scalar()
-    a1 = g1**r
-    a2 = g2**r
+    a1 = fixed_pow(g1, r)
+    a2 = fixed_pow(g2, r)
     c = _challenge(group, g1, h1, g2, h2, a1, a2, context)
     z = (r + c * secret) % group.order
     return DleqProof(c, z)
@@ -87,8 +98,71 @@ def dleq_verify(
     """Verify a DLEQ proof; raise :class:`InvalidProofError` on failure."""
     if not 0 <= proof.challenge < group.order or not 0 <= proof.response < group.order:
         raise InvalidProofError("DLEQ proof values out of range")
-    a1 = g1**proof.response * h1 ** (-proof.challenge)
-    a2 = g2**proof.response * h2 ** (-proof.challenge)
+    a1 = fixed_pow(g1, proof.response) * fixed_pow(h1, -proof.challenge)
+    a2 = fixed_pow(g2, proof.response) * h2 ** (-proof.challenge)
     expected = _challenge(group, g1, h1, g2, h2, a1, a2, context)
     if expected != proof.challenge:
         raise InvalidProofError("DLEQ proof verification failed")
+
+
+@dataclass(frozen=True)
+class DleqStatement:
+    """One (bases, images, proof) instance for batch verification."""
+
+    g1: GroupElement
+    h1: GroupElement
+    g2: GroupElement
+    h2: GroupElement
+    proof: DleqProof
+    context: bytes = field(default=b"")
+
+
+def dleq_verify_batch(group: Group, statements: Sequence[DleqStatement]) -> None:
+    """Verify many DLEQ proofs sharing bases, amortizing the fixed-base work.
+
+    A Fiat–Shamir proof in (c, z) form pins the commitments: the verifier
+    *must* reconstruct each ``a1_i = g1^{z_i}·h1_i^{-c_i}`` to recompute the
+    challenge hash, so the k checks cannot be folded into one random-linear
+    combination the way transcript-carrying proofs can (that trick lives in
+    :meth:`repro.schemes.bls04.Bls04SignatureScheme.verify_share_batch`,
+    where pairings make the combined equation checkable).  What *can* be
+    shared is the expensive base work: share verification uses the same
+    ``g1`` (the generator) and ``g2`` (the per-request hash point) for every
+    statement, so fixed-base tables are force-built once and every statement
+    reuses them.  Raises :class:`InvalidProofError` naming every failing
+    statement index, so callers can drop exactly the faulty parties.
+    """
+    if not statements:
+        return
+    from ..groups.precompute import fixed_base_table
+
+    # Promote bases shared by two or more statements: a table breaks even
+    # after ~3 uses, and each statement exponentiates its bases twice.
+    if len(statements) >= 2:
+        counts: dict[bytes, tuple[GroupElement, int]] = {}
+        for statement in statements:
+            for base in (statement.g1, statement.g2):
+                key = base.to_bytes()
+                previous = counts.get(key)
+                counts[key] = (base, 1 if previous is None else previous[1] + 1)
+        for base, seen in counts.values():
+            if seen >= 2:
+                fixed_base_table(base)
+    bad: list[int] = []
+    for index, statement in enumerate(statements):
+        try:
+            dleq_verify(
+                group,
+                statement.g1,
+                statement.h1,
+                statement.g2,
+                statement.h2,
+                statement.proof,
+                context=statement.context,
+            )
+        except InvalidProofError:
+            bad.append(index)
+    if bad:
+        raise InvalidProofError(
+            f"DLEQ batch verification failed for statements {bad}"
+        )

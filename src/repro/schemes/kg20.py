@@ -28,6 +28,7 @@ from typing import Mapping, Sequence
 
 from ..errors import InvalidShareError, InvalidSignatureError
 from ..groups.base import Group, GroupElement
+from ..groups.precompute import fixed_pow
 from ..groups.registry import get_group
 from ..mathutils.lagrange import lagrange_coefficients_at_zero
 from ..serialization import Reader, encode_bytes, encode_int, encode_str
@@ -172,8 +173,8 @@ def keygen(
         group_name,
         threshold,
         parties,
-        group.generator() ** x,
-        tuple(group.generator() ** s.value for s in shares),
+        fixed_pow(group.generator(), x),
+        tuple(fixed_pow(group.generator(), s.value) for s in shares),
     )
     return public, [Kg20KeyShare(s.id, s.value, public) for s in shares]
 
@@ -215,7 +216,9 @@ class Kg20SignatureScheme(ThresholdSignature):
         d = group.random_scalar()
         e = group.random_scalar()
         return NoncePair(d, e), NonceCommitment(
-            key_share.id, group.generator() ** d, group.generator() ** e
+            key_share.id,
+            fixed_pow(group.generator(), d),
+            fixed_pow(group.generator(), e),
         )
 
     def precompute(
@@ -252,10 +255,13 @@ class Kg20SignatureScheme(ThresholdSignature):
         commitments: Sequence[NonceCommitment],
     ) -> GroupElement:
         """R = Π D_j · E_j^{ρ_j} over the signing group."""
-        r = group.identity()
-        for commitment in _sorted_commitments(commitments):
-            rho = self.binding_factor(group, commitment.id, message, commitments)
-            r = r * commitment.big_d * commitment.big_e**rho
+        ordered = _sorted_commitments(commitments)
+        r = group.multi_exp(
+            [c.big_e for c in ordered],
+            [self.binding_factor(group, c.id, message, commitments) for c in ordered],
+        )
+        for commitment in ordered:
+            r = r * commitment.big_d
         return r
 
     def challenge(
@@ -327,7 +333,7 @@ class Kg20SignatureScheme(ThresholdSignature):
             * commitment.big_e**rho
             * public_key.verification_key(share.id) ** ((lam * c) % group.order)
         )
-        if group.generator() ** share.z != expected:
+        if fixed_pow(group.generator(), share.z) != expected:
             raise InvalidShareError(f"KG20 share {share.id} verification failed")
 
     def combine(
@@ -359,5 +365,7 @@ class Kg20SignatureScheme(ThresholdSignature):
     ) -> None:
         group = public_key.group
         c = self.challenge(group, signature.r, public_key.y, message)
-        if group.generator() ** signature.z != signature.r * public_key.y**c:
+        if fixed_pow(group.generator(), signature.z) != signature.r * fixed_pow(
+            public_key.y, c
+        ):
             raise InvalidSignatureError("KG20 Schnorr verification failed")

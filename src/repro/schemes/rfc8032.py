@@ -25,6 +25,7 @@ from typing import Sequence
 
 from ..errors import InvalidSignatureError
 from ..groups.ed25519 import L, Ed25519Group, ed25519
+from ..groups.precompute import fixed_pow
 from . import kg20
 
 
@@ -42,14 +43,14 @@ def sign(secret_scalar: int, message: bytes) -> bytes:
     caller's concern).
     """
     group = ed25519()
-    public = group.generator() ** secret_scalar
+    public = fixed_pow(group.generator(), secret_scalar)
     nonce_seed = hashlib.sha512(
         b"repro-rfc8032-nonce"
         + secret_scalar.to_bytes(32, "little")
         + message
     ).digest()
     r = int.from_bytes(nonce_seed, "little") % L
-    big_r = group.generator() ** r
+    big_r = fixed_pow(group.generator(), r)
     k = _challenge(big_r.to_bytes(), public.to_bytes(), message)
     s = (r + k * secret_scalar) % L
     return big_r.to_bytes() + s.to_bytes(32, "little")
@@ -73,7 +74,7 @@ def verify(public_bytes: bytes, message: bytes, signature: bytes) -> None:
     if s >= L:
         raise InvalidSignatureError("non-canonical scalar in signature")
     k = _challenge(signature[:32], public_bytes, message)
-    if group.generator() ** s != big_r * public**k:
+    if fixed_pow(group.generator(), s) != big_r * public**k:
         raise InvalidSignatureError("ed25519 verification equation failed")
 
 

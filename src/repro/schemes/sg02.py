@@ -20,6 +20,7 @@ from typing import Sequence
 
 from ..errors import InvalidCiphertextError, InvalidShareError
 from ..groups.base import Group, GroupElement
+from ..groups.precompute import fixed_pow
 from ..groups.registry import get_group
 from ..mathutils.lagrange import lagrange_coefficients_at_zero
 from ..serialization import Reader, encode_bytes, encode_int, encode_str
@@ -164,8 +165,10 @@ def keygen(
     group = get_group(group_name)
     x = group.random_scalar()
     shares = share_secret(x, threshold, parties, group.order)
-    h = group.generator() ** x
-    verification_keys = tuple(group.generator() ** s.value for s in shares)
+    h = fixed_pow(group.generator(), x)
+    verification_keys = tuple(
+        fixed_pow(group.generator(), s.value) for s in shares
+    )
     public = Sg02PublicKey(group_name, threshold, parties, h, verification_keys)
     return public, [Sg02KeyShare(s.id, s.value, public) for s in shares]
 
@@ -201,11 +204,11 @@ class Sg02Cipher(ThresholdCipher):
         payload = ChaCha20Poly1305(sym_key).encrypt(nonce, plaintext, aad=label)
         r = group.random_scalar()
         s = group.random_scalar()
-        masked_key = _xor(sym_key, _kdf(public_key.h**r))
-        u = g**r
-        w = g**s
-        u_bar = g_bar**r
-        w_bar = g_bar**s
+        masked_key = _xor(sym_key, _kdf(fixed_pow(public_key.h, r)))
+        u = fixed_pow(g, r)
+        w = fixed_pow(g, s)
+        u_bar = fixed_pow(g_bar, r)
+        w_bar = fixed_pow(g_bar, s)
         e = self._challenge(group, masked_key, label, u, w, u_bar, w_bar)
         f = (s + r * e) % group.order
         return Sg02Ciphertext(label, masked_key, u, u_bar, e, f, nonce, payload)
@@ -216,8 +219,8 @@ class Sg02Cipher(ThresholdCipher):
         group = public_key.group
         g = group.generator()
         g_bar = group.hash_to_element(_GBAR_TAG)
-        w = g**ciphertext.f * ciphertext.u ** (-ciphertext.e)
-        w_bar = g_bar**ciphertext.f * ciphertext.u_bar ** (-ciphertext.e)
+        w = fixed_pow(g, ciphertext.f) * ciphertext.u ** (-ciphertext.e)
+        w_bar = fixed_pow(g_bar, ciphertext.f) * ciphertext.u_bar ** (-ciphertext.e)
         expected = self._challenge(
             group,
             ciphertext.masked_key,
@@ -245,6 +248,8 @@ class Sg02Cipher(ThresholdCipher):
             ciphertext.u,
             key_share.value,
             context=ciphertext.label,
+            h1=public_key.verification_key(key_share.id),
+            h2=u_i,
         )
         return Sg02DecryptionShare(key_share.id, u_i, proof)
 
@@ -267,6 +272,33 @@ class Sg02Cipher(ThresholdCipher):
             context=ciphertext.label,
         )
 
+    def verify_decryption_shares(
+        self,
+        public_key: Sg02PublicKey,
+        ciphertext: Sg02Ciphertext,
+        shares: Sequence[Sg02DecryptionShare],
+    ) -> None:
+        """Verify many shares of one ciphertext in a single batched call."""
+        from .dleq import DleqStatement, dleq_verify_batch
+
+        for share in shares:
+            if not 1 <= share.id <= public_key.parties:
+                raise InvalidShareError(f"share id {share.id} out of range")
+        group = public_key.group
+        generator = group.generator()
+        statements = [
+            DleqStatement(
+                generator,
+                public_key.verification_key(share.id),
+                ciphertext.u,
+                share.u_i,
+                share.proof,
+                context=ciphertext.label,
+            )
+            for share in shares
+        ]
+        dleq_verify_batch(group, statements)
+
     def combine(
         self,
         public_key: Sg02PublicKey,
@@ -278,9 +310,10 @@ class Sg02Cipher(ThresholdCipher):
         chosen = select_shares(shares, public_key.threshold)
         ids = [share.id for share in chosen]
         coefficients = lagrange_coefficients_at_zero(ids, group.order)
-        u_x = group.identity()
-        for share in chosen:
-            u_x = u_x * share.u_i ** coefficients[share.id]
+        u_x = group.multi_exp(
+            [share.u_i for share in chosen],
+            [coefficients[share.id] for share in chosen],
+        )
         sym_key = _xor(ciphertext.masked_key, _kdf(u_x))
         try:
             return ChaCha20Poly1305(sym_key).decrypt(

@@ -37,7 +37,7 @@ class _Connection:
         self._reader, self._writer = await asyncio.open_connection(
             self._host, self._port
         )
-        self._listen_task = asyncio.get_event_loop().create_task(self._listen())
+        self._listen_task = asyncio.get_running_loop().create_task(self._listen())
 
     async def _listen(self) -> None:
         assert self._reader is not None
@@ -62,7 +62,7 @@ class _Connection:
         async with self._lock:
             await self._ensure()
             request_id = next(self._ids)
-            future: asyncio.Future = asyncio.get_event_loop().create_future()
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._pending[request_id] = future
             assert self._writer is not None
             request = {"id": request_id, "method": method, "params": params}

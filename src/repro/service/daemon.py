@@ -48,7 +48,7 @@ async def run_until_signal(node: ThetacryptNode) -> None:
         len(node.keys),
     )
     stop = asyncio.Event()
-    loop = asyncio.get_event_loop()
+    loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
             loop.add_signal_handler(signum, stop.set)

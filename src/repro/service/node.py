@@ -318,7 +318,11 @@ class ThetacryptNode:
             return False
 
     def stats(self) -> dict:
-        """Health/utilization snapshot: instance counts and latency summary."""
+        """Health/utilization snapshot: instance counts, latency summary, and
+        crypto precompute-cache counters (see docs/schemes.md, Performance)."""
+        from ..groups.precompute import precompute_stats
+        from ..mathutils.lagrange import lagrange_cache_stats
+
         records = self.instances.records()
         by_status: dict[str, int] = {}
         latencies: list[float] = []
@@ -341,6 +345,10 @@ class ThetacryptNode:
             "active": self.instances.active_count,
             "keys": len(self.keys),
             "latency": summary,
+            "crypto_cache": {
+                "fixed_base": precompute_stats(),
+                "lagrange": lagrange_cache_stats(),
+            },
         }
 
     def key_info(self) -> list[dict]:

@@ -64,7 +64,7 @@ class RpcServer:
             line = await reader.readline()
             if not line:
                 return
-            task = asyncio.get_event_loop().create_task(
+            task = asyncio.get_running_loop().create_task(
                 self._handle_line(line, writer, write_lock)
             )
             self._tasks.add(task)

@@ -1,13 +1,20 @@
 """The simulator CLI and the node monitoring endpoint."""
 
 import asyncio
+import os
+import pathlib
 import subprocess
 import sys
 
 import pytest
 
+import repro
 from repro.network.local import LocalHub
 from repro.service import ThetacryptClient, ThetacryptNode, make_local_configs
+
+# The subprocess needs to import ``repro`` like this process does; derive the
+# source root from the imported package instead of hardcoding a layout.
+_SRC_ROOT = str(pathlib.Path(repro.__file__).resolve().parent.parent)
 
 
 @pytest.mark.integration
@@ -18,7 +25,13 @@ class TestSimCli:
             capture_output=True,
             text=True,
             timeout=300,
-            env={"REPRO_SIM_MAX_REQUESTS": "20", "PATH": "/usr/bin:/bin"},
+            env={
+                "REPRO_SIM_MAX_REQUESTS": "20",
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": os.pathsep.join(
+                    [_SRC_ROOT] + [p for p in [os.environ.get("PYTHONPATH")] if p]
+                ),
+            },
         )
 
     def test_capacity_csv(self):

@@ -1,0 +1,245 @@
+"""The precomputation layer: fixed-base tables, Lagrange cache, batch verify."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateShareError, InvalidProofError, InvalidShareError
+from repro.groups import (
+    clear_precompute_cache,
+    fixed_base_table,
+    fixed_pow,
+    get_group,
+    list_groups,
+    precompute_stats,
+)
+from repro.groups.precompute import FixedBaseTable, PrecomputeCache
+from repro.mathutils.lagrange import (
+    clear_lagrange_cache,
+    lagrange_cache_stats,
+    lagrange_coefficient,
+    lagrange_coefficients_at_zero,
+)
+from repro.mathutils.modular import batch_inverse, inverse_mod
+from repro.schemes import get_scheme
+from repro.schemes.dleq import DleqProof, DleqStatement, dleq_prove, dleq_verify_batch
+
+
+class TestBatchInverse:
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(1, 10**9), min_size=0, max_size=12))
+    def test_matches_individual_inversion(self, values):
+        q = 2**252 + 27742317777372353535851937790883648493
+        assert batch_inverse(values, q) == [inverse_mod(v, q) for v in values]
+
+    def test_zero_is_rejected(self):
+        from repro.errors import CryptoError
+
+        with pytest.raises(CryptoError):
+            batch_inverse([3, 0, 5], 10007)
+
+
+class TestLagrangeCache:
+    def test_cached_agrees_with_per_point_path(self):
+        clear_lagrange_cache()
+        rng = random.Random(7)
+        moduli = [10007, 2**252 + 27742317777372353535851937790883648493]
+        for modulus in moduli:
+            for _ in range(25):
+                xs = rng.sample(range(1, 64), rng.randint(1, 9))
+                cached = lagrange_coefficients_at_zero(xs, modulus)
+                plain = {i: lagrange_coefficient(xs, i, 0, modulus) for i in xs}
+                assert dict(cached) == plain
+
+    def test_hit_counting_and_order_independence(self):
+        clear_lagrange_cache()
+        first = lagrange_coefficients_at_zero([3, 1, 2], 10007)
+        second = lagrange_coefficients_at_zero([2, 3, 1], 10007)
+        assert dict(first) == dict(second)
+        stats = lagrange_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_returned_mapping_is_read_only(self):
+        coefficients = lagrange_coefficients_at_zero([1, 2, 3], 10007)
+        with pytest.raises(TypeError):
+            coefficients[1] = 0  # type: ignore[index]
+
+    def test_duplicates_still_rejected(self):
+        with pytest.raises(DuplicateShareError):
+            lagrange_coefficients_at_zero([1, 1, 2], 10007)
+
+    def test_interpolation_still_recovers_secret(self):
+        clear_lagrange_cache()
+        q = 2**252 + 27742317777372353535851937790883648493
+        secret, slope = 123456789, 987654321
+        points = {i: (secret + slope * i) % q for i in (2, 5, 9)}
+        lam = lagrange_coefficients_at_zero(list(points), q)
+        assert sum(points[i] * lam[i] for i in points) % q == secret
+
+
+class TestFixedBaseTable:
+    @pytest.mark.parametrize("name", sorted(list_groups()))
+    def test_matches_plain_pow_all_groups(self, name):
+        group = get_group(name)
+        base = group.generator()
+        table = FixedBaseTable(base)
+        rng = random.Random(name)
+        for scalar in [0, 1, 2, group.order - 1, -5] + [
+            rng.randrange(group.order) for _ in range(6)
+        ]:
+            assert table.pow(scalar) == base**scalar
+
+    def test_non_generator_base(self):
+        group = get_group("ed25519")
+        base = group.generator() ** 31337
+        table = FixedBaseTable(base)
+        scalar = group.random_scalar()
+        assert table.pow(scalar) == base**scalar
+
+    def test_promotion_threshold_and_counters(self):
+        cache = PrecomputeCache(promotion_threshold=3)
+        group = get_group("ed25519")
+        base = group.generator() ** 271828
+        for _ in range(5):
+            assert cache.pow(base, 42) == base**42
+        stats = cache.stats()
+        # Three naive misses, then a table is built and serves the rest.
+        assert stats["tables_built"] == 1
+        assert stats["misses"] == 3
+        assert stats["hits"] == 2
+
+    def test_table_cache_eviction(self):
+        cache = PrecomputeCache(table_capacity=2, promotion_threshold=1)
+        group = get_group("ed25519")
+        for k in range(2, 6):
+            cache.pow(group.generator() ** k, 7)
+        stats = cache.stats()
+        assert stats["tables"] == 2
+        assert stats["evictions"] == 2
+
+    def test_shared_cache_stats_shape(self):
+        clear_precompute_cache()
+        group = get_group("ed25519")
+        fixed_base_table(group.generator())
+        fixed_pow(group.generator(), 12345)
+        stats = precompute_stats()
+        assert stats["tables_built"] >= 1 and stats["hits"] >= 1
+        for key in ("hits", "misses", "tables_built", "evictions", "tables"):
+            assert key in stats
+
+
+class TestBatchVerification:
+    def _coin_setup(self, corrupt_index=None):
+        from repro.schemes import cks05
+
+        public, shares = cks05.keygen(2, 5)
+        scheme = get_scheme("cks05")
+        name = b"batch-coin"
+        coin_shares = [
+            scheme.create_coin_share(share, name) for share in shares[:4]
+        ]
+        if corrupt_index is not None:
+            bad = coin_shares[corrupt_index]
+            coin_shares[corrupt_index] = type(bad)(
+                bad.id, bad.sigma, DleqProof(bad.proof.challenge, bad.proof.response ^ 1)
+            )
+        return scheme, public, name, coin_shares
+
+    def test_cks05_batch_accepts_valid_shares(self):
+        scheme, public, name, coin_shares = self._coin_setup()
+        scheme.verify_coin_shares(public, name, coin_shares)
+
+    @pytest.mark.parametrize("corrupt_index", [0, 2, 3])
+    def test_cks05_batch_rejects_any_corrupted_share(self, corrupt_index):
+        scheme, public, name, coin_shares = self._coin_setup(corrupt_index)
+        with pytest.raises(InvalidProofError) as excinfo:
+            scheme.verify_coin_shares(public, name, coin_shares)
+        assert str(corrupt_index) in str(excinfo.value)
+
+    def test_sg02_batch_accepts_and_rejects(self):
+        from repro.schemes import sg02
+
+        public, shares = sg02.keygen(1, 4)
+        scheme = get_scheme("sg02")
+        ct = scheme.encrypt(public, b"payload", b"label")
+        dec_shares = [
+            scheme.create_decryption_share(share, ct) for share in shares[:3]
+        ]
+        scheme.verify_decryption_shares(public, ct, dec_shares)
+        bad = dec_shares[1]
+        dec_shares[1] = type(bad)(
+            bad.id, bad.u_i, DleqProof(bad.proof.challenge, bad.proof.response ^ 1)
+        )
+        with pytest.raises(InvalidProofError):
+            scheme.verify_decryption_shares(public, ct, dec_shares)
+
+    def test_bls04_batch_identifies_culprits(self):
+        from repro.schemes import bls04
+
+        public, shares = bls04.keygen(1, 4)
+        scheme = get_scheme("bls04")
+        message = b"batch-bls"
+        sig_shares = [scheme.partial_sign(share, message) for share in shares[:3]]
+        scheme.verify_share_batch(public, message, sig_shares)
+        forged = bls04.Bls04SignatureShare(
+            sig_shares[2].id, sig_shares[0].sigma
+        )
+        sig_shares[2] = forged
+        with pytest.raises(InvalidShareError) as excinfo:
+            scheme.verify_share_batch(public, message, sig_shares, identify=True)
+        assert str(forged.id) in str(excinfo.value)
+
+    def test_dleq_batch_empty_is_noop(self):
+        dleq_verify_batch(get_group("ed25519"), [])
+
+    def test_dleq_batch_direct(self):
+        group = get_group("ed25519")
+        g = group.generator()
+        g2 = group.hash_to_element(b"other-base")
+        statements = []
+        for secret in (11, 22, 33):
+            h1 = g**secret
+            h2 = g2**secret
+            proof = dleq_prove(group, g, g2, secret, h1=h1, h2=h2)
+            statements.append(DleqStatement(g, h1, g2, h2, proof))
+        dleq_verify_batch(group, statements)
+        broken = statements[0]
+        statements[0] = DleqStatement(
+            broken.g1,
+            broken.h1,
+            broken.g2,
+            broken.h2,
+            DleqProof(broken.proof.challenge + 1, broken.proof.response),
+        )
+        with pytest.raises(InvalidProofError):
+            dleq_verify_batch(group, statements)
+
+
+class TestSchemesStillAgreeUnderCache:
+    """End-to-end spot check: cached hot paths change nothing observable."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=64), st.binary(max_size=16))
+    def test_sg02_roundtrip(self, plaintext, label):
+        from repro.schemes import sg02
+
+        public, shares = sg02.keygen(1, 3)
+        scheme = get_scheme("sg02")
+        ct = scheme.encrypt(public, plaintext, label)
+        dec = [scheme.create_decryption_share(s, ct) for s in shares[:2]]
+        assert scheme.combine(public, ct, dec) == plaintext
+
+    def test_cks05_coin_deterministic_across_quorums(self):
+        from repro.schemes import cks05
+
+        public, shares = cks05.keygen(2, 5)
+        scheme = get_scheme("cks05")
+        name = b"round-42"
+        coin_shares = {s.id: scheme.create_coin_share(s, name) for s in shares}
+        quorum_a = [coin_shares[i] for i in (1, 2, 3)]
+        quorum_b = [coin_shares[i] for i in (2, 4, 5)]
+        assert scheme.combine(public, name, quorum_a) == scheme.combine(
+            public, name, quorum_b
+        )
