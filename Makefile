@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast check examples fixtures clean
+.PHONY: install test test-fast bench bench-fast check metrics-smoke examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -25,6 +25,11 @@ check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 	PYTHONPATH=src REPRO_FAST=1 $(PYTHON) -m pytest \
 		benchmarks/bench_micro_primitives.py --benchmark-disable -q
+
+# Telemetry gate: boot a 4-node cluster, run one request per scheme API,
+# and assert the Prometheus scrape output parses (docs/observability.md).
+metrics-smoke:
+	PYTHONPATH=src $(PYTHON) tools/metrics_smoke.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -29,7 +29,9 @@ class ProtocolMessage:
 
     ``instance_id`` routes the message to the right protocol instance on the
     receiving node; ``round`` lets receivers buffer early messages;
-    ``recipient`` of ``0`` means "all peers".
+    ``recipient`` of ``0`` means "all peers".  ``trace_id`` carries the
+    sender's telemetry trace across the wire (empty when the sender traced
+    nothing), letting the receiver attribute the hop to the peer trace.
     """
 
     instance_id: str
@@ -38,6 +40,7 @@ class ProtocolMessage:
     channel: Channel
     payload: bytes
     recipient: int = 0  # 0 = broadcast to all parties
+    trace_id: str = ""  # telemetry correlation id ("" = untraced)
 
     def is_directed(self) -> bool:
         return self.recipient != 0
@@ -50,6 +53,7 @@ class ProtocolMessage:
             + encode_str(self.channel.value)
             + encode_bytes(self.payload)
             + encode_int(self.recipient)
+            + encode_str(self.trace_id)
         )
 
     @staticmethod
@@ -61,11 +65,12 @@ class ProtocolMessage:
         channel_name = reader.read_str()
         payload = reader.read_bytes()
         recipient = reader.read_int()
+        trace_id = reader.read_str()
         reader.finish()
         try:
             channel = Channel(channel_name)
         except ValueError as exc:
             raise SerializationError(f"unknown channel {channel_name!r}") from exc
         return ProtocolMessage(
-            instance_id, sender, round_number, channel, payload, recipient
+            instance_id, sender, round_number, channel, payload, recipient, trace_id
         )

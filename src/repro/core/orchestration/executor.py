@@ -6,15 +6,23 @@ correct execution and proper termination of an instance" (§3.5).  The
 executor never inspects scheme specifics: it forwards outgoing messages,
 feeds incoming ones to :meth:`update`, and polls the two readiness
 predicates.
+
+Telemetry: the executor adopts the trace active at creation time (the RPC
+handler's, when the instance was started by a request at this node),
+records one span per TRI round, stamps outgoing messages with the trace id,
+and feeds round durations / share accept counts into the core metrics.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import logging
+import time
 from typing import Awaitable, Callable
 
 from ...errors import CryptoError, ProtocolAbortedError, SerializationError
+from ...telemetry import CoreMetrics, adopt_trace
 from ..messages import ProtocolMessage
 from ..tri import ThresholdRoundProtocol
 from .instance import InstanceRecord
@@ -33,12 +41,20 @@ class ProtocolExecutor:
         record: InstanceRecord,
         send: SendFn,
         timeout: float | None = None,
+        metrics: CoreMetrics | None = None,
     ):
         self.protocol = protocol
         self.record = record
         self._send = send
         self._timeout = timeout
+        self._metrics = metrics
         self.inbox: asyncio.Queue[ProtocolMessage] = asyncio.Queue()
+        # Inherit the RPC handler's trace when one is active (the request
+        # entered at this node); otherwise the instance gets its own trace
+        # (the request entered at a peer and reached us as shares).
+        self.trace = adopt_trace(f"instance:{protocol.instance_id}")
+        self.record.trace = self.trace
+        self._round_started: float | None = None
         # Created lazily: the executor may be constructed before the event
         # loop runs, and get_event_loop() outside a running loop is both
         # deprecated and a cross-loop hazard.
@@ -72,11 +88,35 @@ class ProtocolExecutor:
             logger.exception("executor crashed for %s", self.protocol.instance_id)
             self._fail(f"internal error: {exc}")
 
+    def _stamp(self, message: ProtocolMessage) -> ProtocolMessage:
+        """Tag an outgoing message with this instance's trace id."""
+        if message.trace_id:
+            return message
+        return dataclasses.replace(message, trace_id=self.trace.trace_id)
+
+    def _close_round(self) -> None:
+        """Record the span/duration of the round that just completed."""
+        if self._round_started is None:
+            return
+        now = self.trace.elapsed()
+        duration = time.perf_counter() - self._round_started
+        round_number = self.protocol.round
+        self.trace.add_span(
+            f"round-{round_number}", now - duration, now, round=round_number
+        )
+        if self._metrics is not None:
+            self._metrics.round_seconds.labels(
+                self.record.scheme, str(round_number)
+            ).observe(duration)
+        self._round_started = None
+
     async def _run_inner(self) -> None:
+        self._round_started = time.perf_counter()
         for message in self.protocol.do_round():
-            await self._send(message)
+            await self._send(self._stamp(message))
         while True:
             if self.protocol.is_ready_to_finalize():
+                self._close_round()
                 self._finish(self.protocol.finalize())
                 return
             message = await self.inbox.get()
@@ -93,21 +133,52 @@ class ProtocolExecutor:
                     message.sender,
                     exc,
                 )
+                self._note_message(message, "rejected")
                 continue
+            self._note_message(message, "accepted")
             if self.protocol.is_ready_to_finalize():
+                self._close_round()
                 self._finish(self.protocol.finalize())
                 return
             if self.protocol.is_ready_for_next_round():
+                self._close_round()
                 self.protocol.advance_round()
+                self._round_started = time.perf_counter()
                 for outgoing in self.protocol.do_round():
-                    await self._send(outgoing)
+                    await self._send(self._stamp(outgoing))
+
+    def _note_message(self, message: ProtocolMessage, outcome: str) -> None:
+        """One received share: a hop event on the trace plus a counter."""
+        self.trace.event(
+            "hop",
+            sender=message.sender,
+            round=message.round,
+            outcome=outcome,
+            origin_trace=message.trace_id,
+        )
+        if self._metrics is not None:
+            self._metrics.messages.labels(self.record.scheme, outcome).inc()
 
     def _finish(self, result: bytes) -> None:
         self.record.mark_finished(result)
+        self._observe_termination("finished")
         if not self.result_future.done():
             self.result_future.set_result(result)
 
     def _fail(self, reason: str) -> None:
+        self._close_round()
         self.record.mark_failed(reason)
+        self._observe_termination("failed")
         if not self.result_future.done():
             self.result_future.set_exception(ProtocolAbortedError(reason))
+
+    def _observe_termination(self, status: str) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.instances.labels(self.record.scheme, status).inc()
+        # Only successful instances enter the latency histogram (failures
+        # and timeouts would skew the paper's server-side latency metric).
+        if status == "finished" and self.record.latency is not None:
+            self._metrics.instance_seconds.labels(self.record.scheme).observe(
+                self.record.latency
+            )

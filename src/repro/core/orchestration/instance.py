@@ -29,6 +29,15 @@ class InstanceRecord:
     finished_at: float | None = None
     result: bytes | None = None
     error: str | None = None
+    #: Telemetry trace recorded by the executor (per-round spans, per-hop
+    #: events); set when the instance starts, reported via the status RPC.
+    trace: object | None = None
+
+    def trace_report(self) -> dict | None:
+        """JSON-serialisable per-round/per-hop breakdown (None if untraced)."""
+        if self.trace is None:
+            return None
+        return self.trace.report()
 
     def mark_running(self) -> None:
         self.status = InstanceStatus.RUNNING

@@ -15,6 +15,7 @@ import logging
 from collections import defaultdict
 
 from ...errors import ProtocolAbortedError, ProtocolError
+from ...telemetry import CoreMetrics, MetricRegistry, default_registry
 from ..messages import ProtocolMessage
 from ..tri import ThresholdRoundProtocol
 from .executor import ProtocolExecutor, SendFn
@@ -30,10 +31,19 @@ _BACKLOG_LIMIT = 4096
 class InstanceManager:
     """Tracks every protocol instance running on one node."""
 
-    def __init__(self, party_id: int, send: SendFn, default_timeout: float | None = 60.0):
+    def __init__(
+        self,
+        party_id: int,
+        send: SendFn,
+        default_timeout: float | None = 60.0,
+        registry: MetricRegistry | None = None,
+    ):
         self.party_id = party_id
         self._send = send
         self._default_timeout = default_timeout
+        self.metrics = CoreMetrics(
+            registry if registry is not None else default_registry()
+        )
         self._executors: dict[str, ProtocolExecutor] = {}
         self._records: dict[str, InstanceRecord] = {}
         self._backlog: dict[str, list[ProtocolMessage]] = defaultdict(list)
@@ -57,16 +67,22 @@ class InstanceManager:
             record,
             self._send,
             timeout=timeout if timeout is not None else self._default_timeout,
+            metrics=self.metrics,
         )
         self._records[instance_id] = record
         self._executors[instance_id] = executor
+        self.metrics.inflight.inc()
         task = asyncio.get_running_loop().create_task(executor.run())
         self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(self._on_task_done)
         # Drain messages that beat the request to this node.
         for message in self._backlog.pop(instance_id, []):
             executor.inbox.put_nowait(message)
         return record
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self.metrics.inflight.dec()
 
     # -- message routing --------------------------------------------------------
 
@@ -85,8 +101,10 @@ class InstanceManager:
                 "backlog overflow for unknown instance %s; dropping message",
                 message.instance_id,
             )
+            self.metrics.backlog_dropped.inc()
             return
         backlog.append(message)
+        self.metrics.backlog_buffered.inc()
 
     # -- results ------------------------------------------------------------------
 

@@ -16,10 +16,19 @@ import random
 from collections import OrderedDict
 
 from ..serialization import Reader, encode_bytes, encode_int
+from ..telemetry import ChannelMetrics, counter
 from .interfaces import MessageHandler, P2PNetwork
 
 _BROADCAST = 0
 _SEEN_CACHE = 65536
+
+#: Envelopes whose id was already seen and were therefore not re-flooded —
+#: the overlay's duplicate-suppression effectiveness measure.
+_DUPLICATES = counter(
+    "repro_gossip_duplicates_total",
+    "Gossip envelopes suppressed as duplicates, per node.",
+    ("node",),
+)
 
 
 class GossipOverlay(P2PNetwork):
@@ -41,6 +50,8 @@ class GossipOverlay(P2PNetwork):
         # Computed lazily: the peer set may not be fully known at
         # construction time (e.g. an in-process hub still being populated).
         self._neighbor_cache: set[int] | None = None
+        self._metrics = ChannelMetrics(base.node_id, "gossip")
+        self._duplicates = _DUPLICATES.labels(str(base.node_id))
         base.set_handler(self._on_base_message)
 
     @property
@@ -90,7 +101,9 @@ class GossipOverlay(P2PNetwork):
     async def _flood(self, envelope: bytes, exclude: int | None) -> None:
         for neighbor in self._neighbors:
             if neighbor != exclude:
-                await self._base.send(neighbor, envelope)
+                with self._metrics.time_send():
+                    await self._base.send(neighbor, envelope)
+                self._metrics.sent(len(envelope))
 
     # -- receiving ----------------------------------------------------------------
 
@@ -112,10 +125,12 @@ class GossipOverlay(P2PNetwork):
         payload = reader.read_bytes()
         reader.finish()
         if not self._remember(message_id):
+            self._duplicates.inc()
             return
         await self._flood(envelope, exclude=link_sender)
         is_for_us = recipient in (_BROADCAST, self.node_id)
         if is_for_us and origin != self.node_id and self._handler is not None:
+            self._metrics.received(len(payload))
             await self._handler(origin, payload)
 
 

@@ -13,6 +13,7 @@ import asyncio
 from typing import Callable
 
 from ..errors import NetworkError
+from ..telemetry import ChannelMetrics
 from .interfaces import MessageHandler, P2PNetwork
 
 LatencyFn = Callable[[int, int], float]
@@ -69,6 +70,7 @@ class LocalP2P(P2PNetwork):
         self.node_id = node_id
         self._hub = hub
         self._handler: MessageHandler | None = None
+        self._metrics = ChannelMetrics(node_id, "local")
 
     def set_handler(self, handler: MessageHandler) -> None:
         self._handler = handler
@@ -79,14 +81,19 @@ class LocalP2P(P2PNetwork):
     async def send(self, recipient: int, data: bytes) -> None:
         if recipient == self.node_id:
             raise NetworkError("self-send is not a network operation")
-        self._hub._deliver(self.node_id, recipient, data)
+        with self._metrics.time_send():
+            self._hub._deliver(self.node_id, recipient, data)
+        self._metrics.sent(len(data))
 
     async def broadcast(self, data: bytes) -> None:
         for peer in self.peer_ids():
-            self._hub._deliver(self.node_id, peer, data)
+            with self._metrics.time_send():
+                self._hub._deliver(self.node_id, peer, data)
+            self._metrics.sent(len(data))
 
     async def _receive_after(self, delay: float, sender: int, data: bytes) -> None:
         if delay > 0:
             await asyncio.sleep(delay)
+        self._metrics.received(len(data))
         if self._handler is not None:
             await self._handler(sender, data)

@@ -14,9 +14,24 @@ from typing import Awaitable, Callable
 
 from ..core.messages import Channel, ProtocolMessage
 from ..errors import ConfigurationError, NetworkError
+from ..telemetry import counter
 from .gossip import GossipOverlay
 from .interfaces import MessageHandler, P2PNetwork, TotalOrderBroadcast
 from .tob import SequencerTob
+
+# Logical protocol-message accounting, one level above the transports
+# (which count wire frames/bytes): what the core handed down and what the
+# core received back, per requested channel.
+_DISPATCHED = counter(
+    "repro_network_dispatch_total",
+    "Protocol messages dispatched by the core, per requested channel.",
+    ("node", "channel"),
+)
+_DELIVERED = counter(
+    "repro_network_delivered_total",
+    "Protocol messages delivered up to the core layer.",
+    ("node",),
+)
 
 _TAG_PROTOCOL = 0x01
 _TAG_TOB = 0x02
@@ -103,6 +118,9 @@ class NetworkManager:
             self._tob = None
             self._owns_tob_transport = False
         self._handler: ProtocolHandler | None = None
+        self._dispatched_p2p = _DISPATCHED.labels(str(self.node_id), "p2p")
+        self._dispatched_tob = _DISPATCHED.labels(str(self.node_id), "tob")
+        self._delivered = _DELIVERED.labels(str(self.node_id))
         self._p2p.set_handler(self._on_p2p)
         if self._tob is not None:
             self._tob.set_handler(self._on_tob)
@@ -137,10 +155,13 @@ class NetworkManager:
                 raise ConfigurationError(
                     "protocol requested TOB but the node has no TOB channel"
                 )
+            self._dispatched_tob.inc()
             await self._tob.submit(data)
         elif message.is_directed():
+            self._dispatched_p2p.inc()
             await self._p2p.send(message.recipient, data)
         else:
+            self._dispatched_p2p.inc()
             await self._p2p.broadcast(data)
 
     # -- incoming -----------------------------------------------------------------
@@ -154,5 +175,6 @@ class NetworkManager:
     async def _deliver(self, message: ProtocolMessage) -> None:
         if message.is_directed() and message.recipient != self.node_id:
             return  # directed message flooded through an overlay
+        self._delivered.inc()
         if self._handler is not None:
             await self._handler(message)

@@ -11,6 +11,7 @@ import asyncio
 import logging
 
 from ..errors import NetworkError
+from ..telemetry import ChannelMetrics
 from .interfaces import MessageHandler, P2PNetwork
 
 logger = logging.getLogger(__name__)
@@ -53,6 +54,7 @@ class TcpP2P(P2PNetwork):
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._dial_locks: dict[int, asyncio.Lock] = {}
         self._reader_tasks: set[asyncio.Task] = set()
+        self._metrics = ChannelMetrics(node_id, "tcp")
 
     def set_handler(self, handler: MessageHandler) -> None:
         self._handler = handler
@@ -96,6 +98,7 @@ class TcpP2P(P2PNetwork):
                 frame = await _read_frame(reader)
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
+            self._metrics.received(len(frame))
             if self._handler is not None:
                 await self._handler(sender, frame)
 
@@ -129,8 +132,10 @@ class TcpP2P(P2PNetwork):
         if recipient not in self._peers:
             raise NetworkError(f"unknown peer {recipient}")
         try:
-            writer = await self._writer_for(recipient)
-            await _write_frame(writer, data)
+            with self._metrics.time_send():
+                writer = await self._writer_for(recipient)
+                await _write_frame(writer, data)
+            self._metrics.sent(len(data))
         except (ConnectionError, NetworkError) as exc:
             # Reliable channels are an assumption of the model (§3.2); a
             # dead peer is logged, the protocol tolerates up to t of them.

@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 
 from ..serialization import Reader, encode_bytes, encode_int
+from ..telemetry import ChannelMetrics
 from .interfaces import MessageHandler, P2PNetwork, TotalOrderBroadcast
 
 _SUBMIT = 0
@@ -40,6 +41,7 @@ class SequencerTob(TotalOrderBroadcast):
         self._pending: dict[int, tuple[int, bytes]] = {}
         self._block_queue: list[tuple[int, bytes]] = []
         self._block_task: asyncio.Task | None = None
+        self._metrics = ChannelMetrics(transport.node_id, "tob")
         transport.set_handler(self._on_frame)
 
     @property
@@ -61,10 +63,12 @@ class SequencerTob(TotalOrderBroadcast):
 
     async def submit(self, data: bytes) -> None:
         frame = encode_int(_SUBMIT) + encode_int(self._transport.node_id) + encode_bytes(data)
-        if self.is_sequencer:
-            await self._sequence(self._transport.node_id, data)
-        else:
-            await self._transport.send(self._sequencer_id, frame)
+        with self._metrics.time_send():
+            if self.is_sequencer:
+                await self._sequence(self._transport.node_id, data)
+            else:
+                await self._transport.send(self._sequencer_id, frame)
+        self._metrics.sent(len(data))
 
     # -- sequencer side ------------------------------------------------------------
 
@@ -119,5 +123,6 @@ class SequencerTob(TotalOrderBroadcast):
         while self._next_delivery in self._pending:
             deliver_origin, deliver_data = self._pending.pop(self._next_delivery)
             self._next_delivery += 1
+            self._metrics.received(len(deliver_data))
             if self._handler is not None:
                 await self._handler(deliver_origin, deliver_data)

@@ -200,6 +200,22 @@ class ThetacryptClient:
             raise RpcError(f"nodes disagree after refresh: {keys}")
         return unhexlify(keys.pop())
 
+    async def node_stats(self, node_id: int | None = None) -> dict:
+        """One node's health/latency snapshot (the ``node_stats`` method)."""
+        target = node_id if node_id is not None else self.node_ids[0]
+        return await self.call(target, "node_stats", {})
+
+    async def metrics(self, node_id: int | None = None) -> str:
+        """One node's Prometheus text exposition, fetched over RPC."""
+        target = node_id if node_id is not None else self.node_ids[0]
+        result = await self.call(target, "metrics", {})
+        return result["text"]
+
+    async def status(self, instance_id: str, node_id: int | None = None) -> dict:
+        """One node's view of an instance, including its trace breakdown."""
+        target = node_id if node_id is not None else self.node_ids[0]
+        return await self.call(target, "status", {"instance_id": instance_id})
+
     async def run_dkg(
         self, key_id: str, scheme: str = "cks05", group: str = "ed25519"
     ) -> bytes:

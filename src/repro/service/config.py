@@ -40,6 +40,9 @@ class NodeConfig:
     # security context such that only the service node in the same security
     # domain is allowed to issue requests".  Empty string disables the check.
     rpc_auth_token: str = ""
+    # Plain-HTTP Prometheus scrape endpoint (GET /metrics) on rpc_host.
+    # None disables it; 0 binds an ephemeral port (see node.metrics_address).
+    metrics_port: int | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -50,6 +53,11 @@ class NodeConfig:
             raise ConfigurationError("threshold must be below the party count")
         if self.transport not in ("tcp", "local"):
             raise ConfigurationError(f"unknown transport {self.transport!r}")
+        if self.metrics_port is not None and self.metrics_port < 0:
+            raise ConfigurationError(
+                f"metrics_port must be >= 0 (or None to disable), "
+                f"got {self.metrics_port}"
+            )
 
     def peer_map(self) -> dict[int, tuple[str, int]]:
         return {

@@ -31,6 +31,14 @@ from ..network.manager import NetworkManager
 from ..network.tcp import TcpP2P
 from ..schemes.base import SCHEME_TABLE, SchemeKind, get_scheme
 from ..serialization import hexlify
+from ..telemetry import (
+    MetricRegistry,
+    MetricsHttpServer,
+    default_registry,
+    register_crypto_cache_collector,
+    render_text,
+    summarize,
+)
 from .config import NodeConfig
 from .server import RpcServer
 
@@ -78,13 +86,25 @@ class ThetacryptNode:
             gossip_fanout=config.gossip_fanout,
             tob=tob,
         )
+        # Per-node metric registry: keeps this node's request metrics
+        # isolated when several nodes share one process; process-wide
+        # instruments (transports, crypto caches) live in the default
+        # registry and are merged into this node's exposition.
+        self.registry = MetricRegistry()
+        register_crypto_cache_collector(default_registry())
         self.instances = InstanceManager(
             config.node_id,
             self.network.dispatch,
             default_timeout=config.instance_timeout,
+            registry=self.registry,
         )
         self.network.set_protocol_handler(self.instances.handle_network_message)
         self.rpc = RpcServer(self, config.rpc_host, config.rpc_port)
+        self._metrics_http: MetricsHttpServer | None = None
+        if config.metrics_port is not None:
+            self._metrics_http = MetricsHttpServer(
+                self.render_metrics, config.rpc_host, config.metrics_port
+            )
         self._frost_pools: dict[str, FrostPrecomputationPool] = {}
         self._refresh_epochs: dict[str, int] = {}
 
@@ -93,8 +113,12 @@ class ThetacryptNode:
     async def start(self) -> None:
         await self.network.start()
         await self.rpc.start()
+        if self._metrics_http is not None:
+            await self._metrics_http.start()
 
     async def stop(self) -> None:
+        if self._metrics_http is not None:
+            await self._metrics_http.stop()
         await self.rpc.stop()
         await self.instances.shutdown()
         await self.network.stop()
@@ -102,6 +126,17 @@ class ThetacryptNode:
     @property
     def rpc_address(self) -> tuple[str, int]:
         return self.rpc.address
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """Host/port of the HTTP scrape endpoint (None when disabled)."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.address
+
+    def render_metrics(self) -> str:
+        """This node's Prometheus text exposition (own + process metrics)."""
+        return render_text(self.registry, default_registry())
 
     # -- key installation --------------------------------------------------------
 
@@ -319,36 +354,27 @@ class ThetacryptNode:
 
     def stats(self) -> dict:
         """Health/utilization snapshot: instance counts, latency summary, and
-        crypto precompute-cache counters (see docs/schemes.md, Performance)."""
-        from ..groups.precompute import precompute_stats
-        from ..mathutils.lagrange import lagrange_cache_stats
+        crypto precompute-cache counters (see docs/observability.md).
+
+        The latency digest is backed by the telemetry histogram
+        (``repro_instance_seconds``), which keeps exact samples: p50 is a
+        true interpolated median (the old ``latencies[len//2]`` was wrong
+        for even counts) and p95/p99 come from the same source Prometheus
+        scrapes — one coherent view with the ``metrics`` endpoint.
+        """
+        from ..telemetry import crypto_cache_snapshot
 
         records = self.instances.records()
         by_status: dict[str, int] = {}
-        latencies: list[float] = []
         for record in records:
             by_status[record.status.value] = by_status.get(record.status.value, 0) + 1
-            if record.latency is not None and record.error is None:
-                latencies.append(record.latency)
-        latencies.sort()
-        summary = {}
-        if latencies:
-            summary = {
-                "count": len(latencies),
-                "mean": sum(latencies) / len(latencies),
-                "p50": latencies[len(latencies) // 2],
-                "max": latencies[-1],
-            }
         return {
             "node_id": self.config.node_id,
             "instances": by_status,
             "active": self.instances.active_count,
             "keys": len(self.keys),
-            "latency": summary,
-            "crypto_cache": {
-                "fixed_base": precompute_stats(),
-                "lagrange": lagrange_cache_stats(),
-            },
+            "latency": dict(summarize(self.registry.get("repro_instance_seconds"))),
+            "crypto_cache": crypto_cache_snapshot(),
         }
 
     def key_info(self) -> list[dict]:

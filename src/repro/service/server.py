@@ -8,6 +8,11 @@ Protocol API (black-box threshold protocol execution):
 
 Scheme API (direct primitive access):
   ``encrypt``, ``verify_signature``, ``list_keys``
+
+Observability: every request is timed into the node's metric registry
+(per-method latency histograms, in-flight gauge) and the protocol methods
+run inside a fresh trace context that the executor inherits; the
+``metrics`` method returns the node's Prometheus exposition in-band.
 """
 
 from __future__ import annotations
@@ -20,11 +25,17 @@ from typing import TYPE_CHECKING
 
 from ..errors import ThetacryptError
 from ..serialization import hexlify, unhexlify
+from ..telemetry import RpcMetrics, start_trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from .node import ThetacryptNode
 
 logger = logging.getLogger(__name__)
+
+#: Methods that launch a threshold protocol instance (traced end to end).
+_PROTOCOL_METHODS = frozenset(
+    {"decrypt", "sign", "flip_coin", "run_dkg", "refresh_key", "precompute"}
+)
 
 
 class RpcServer:
@@ -36,6 +47,7 @@ class RpcServer:
         self._port = port
         self._server: asyncio.AbstractServer | None = None
         self._tasks: set[asyncio.Task] = set()
+        self._metrics = RpcMetrics(node.registry)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -53,22 +65,35 @@ class RpcServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in list(self._tasks):
+        # Await the cancelled handlers: returning while they unwind would
+        # skip their cleanup and emit "Task was destroyed but it is pending".
+        tasks = list(self._tasks)
+        for task in tasks:
             task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
     async def _on_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._metrics.connections.inc()
         write_lock = asyncio.Lock()
-        while True:
-            line = await reader.readline()
-            if not line:
-                return
-            task = asyncio.get_running_loop().create_task(
-                self._handle_line(line, writer, write_lock)
-            )
-            self._tasks.add(task)
-            task.add_done_callback(self._tasks.discard)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # abrupt client disconnect; the finally closes the writer
+        finally:
+            # close() alone: wait_closed() can hang on an abruptly-dropped
+            # peer, pinning the connection task until loop teardown.
+            writer.close()
 
     def _check_auth(self, request: dict) -> None:
         expected = self._node.config.rpc_auth_token
@@ -84,20 +109,34 @@ class RpcServer:
         write_lock: asyncio.Lock,
     ) -> None:
         request_id = None
+        method = ""
+        outcome = "ok"
+        started = time.perf_counter()
+        self._metrics.inflight.inc()
         try:
-            request = json.loads(line)
-            request_id = request.get("id")
-            self._check_auth(request)
-            result = await self._dispatch(
-                request.get("method", ""), request.get("params", {})
+            try:
+                request = json.loads(line)
+                request_id = request.get("id")
+                method = str(request.get("method", ""))
+                self._check_auth(request)
+                result = await self._dispatch(method, request.get("params", {}))
+                response = {"id": request_id, "result": result}
+            except ThetacryptError as exc:
+                outcome = "error"
+                response = {"id": request_id, "error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - report malformed requests
+                logger.exception("rpc failure")
+                outcome = "internal"
+                response = {"id": request_id, "error": f"internal error: {exc}"}
+        finally:
+            self._metrics.inflight.dec()
+            self._metrics.requests.labels(method or "<unparsed>", outcome).inc()
+            self._metrics.latency.labels(method or "<unparsed>").observe(
+                time.perf_counter() - started
             )
-            response = {"id": request_id, "result": result}
-        except ThetacryptError as exc:
-            response = {"id": request_id, "error": str(exc)}
-        except Exception as exc:  # noqa: BLE001 - report malformed requests
-            logger.exception("rpc failure")
-            response = {"id": request_id, "error": f"internal error: {exc}"}
         async with write_lock:
+            if writer.is_closing():
+                return  # client went away while we were handling the request
             try:
                 writer.write(json.dumps(response).encode("utf-8") + b"\n")
                 await writer.drain()
@@ -105,6 +144,16 @@ class RpcServer:
                 pass
 
     async def _dispatch(self, method: str, params: dict) -> dict:
+        if method in _PROTOCOL_METHODS:
+            # The executor task created under this context adopts the trace,
+            # so the instance's per-round spans land in one breakdown with
+            # the RPC-level timing.
+            with start_trace(f"rpc:{method}") as trace:
+                with trace.span(f"rpc:{method}"):
+                    return await self._dispatch_inner(method, params)
+        return await self._dispatch_inner(method, params)
+
+    async def _dispatch_inner(self, method: str, params: dict) -> dict:
         node = self._node
         # ------ protocol API ------
         if method in ("decrypt", "sign", "flip_coin"):
@@ -143,6 +192,8 @@ class RpcServer:
                 "status": record.status.value,
                 "latency": record.latency,
                 "error": record.error,
+                # Per-round/per-hop timing breakdown recorded by the executor.
+                "trace": record.trace_report(),
             }
         # ------ scheme API ------
         if method == "encrypt":
@@ -165,6 +216,10 @@ class RpcServer:
             # Monitoring endpoint (the paper co-locates a Prometheus server
             # per node; this is the equivalent scrape target).
             return node.stats()
+        if method == "metrics":
+            # The same Prometheus document the HTTP scrape endpoint serves,
+            # returned in-band for clients already holding an RPC connection.
+            return {"text": node.render_metrics()}
         if method == "ping":
             return {"node_id": node.config.node_id}
         raise ThetacryptError(f"unknown method {method!r}")

@@ -1,0 +1,180 @@
+"""Pre-bound instrument bundles for the three layers of the stack.
+
+Naming follows the Prometheus conventions (``repro_`` namespace, ``_total``
+for counters, base-unit ``_seconds``/``_bytes`` suffixes).  Two scopes:
+
+* **Process scope** (the default registry): network transports — which may
+  be constructed outside any node, e.g. a :class:`LocalHub` endpoint — and
+  the process-wide crypto caches.  These carry a ``node`` label so several
+  in-process nodes stay distinguishable.
+* **Node scope** (a per-node registry): RPC and core/TRI metrics, created
+  unlabeled-by-node because the registry itself is the node boundary — a
+  Prometheus server scraping each node separately sees exactly its own
+  numbers, as in the paper's per-node co-located setup.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from .registry import MetricRegistry, default_registry
+
+# Buckets for network send operations: these are queue/syscall latencies,
+# far below protocol latencies, so the ladder starts at 10 µs.
+NETWORK_SEND_BUCKETS: tuple[float, ...] = tuple(1e-05 * (2**i) for i in range(16))
+
+
+class ChannelMetrics:
+    """Messages/bytes sent+received and send latency for one transport.
+
+    Instantiated by every transport (`tcp`, `local`, `gossip`, `tob`, and
+    the manager's logical `p2p` dispatch channel) against the process-global
+    registry.
+    """
+
+    def __init__(
+        self, node_id: int, channel: str, registry: MetricRegistry | None = None
+    ):
+        registry = registry if registry is not None else default_registry()
+        labels = ("node", "channel", "direction")
+        self._messages = registry.counter(
+            "repro_network_messages_total",
+            "Protocol frames sent/received per transport channel.",
+            labels,
+        )
+        self._bytes = registry.counter(
+            "repro_network_bytes_total",
+            "Payload bytes sent/received per transport channel.",
+            labels,
+        )
+        self._send_seconds = registry.histogram(
+            "repro_network_send_seconds",
+            "Latency of one send operation per transport channel.",
+            ("node", "channel"),
+            buckets=NETWORK_SEND_BUCKETS,
+        )
+        node = str(node_id)
+        self._sent_messages = self._messages.labels(node, channel, "sent")
+        self._sent_bytes = self._bytes.labels(node, channel, "sent")
+        self._recv_messages = self._messages.labels(node, channel, "received")
+        self._recv_bytes = self._bytes.labels(node, channel, "received")
+        self._send_latency = self._send_seconds.labels(node, channel)
+
+    def sent(self, nbytes: int, messages: int = 1) -> None:
+        self._sent_messages.inc(messages)
+        self._sent_bytes.inc(nbytes)
+
+    def received(self, nbytes: int, messages: int = 1) -> None:
+        self._recv_messages.inc(messages)
+        self._recv_bytes.inc(nbytes)
+
+    @contextmanager
+    def time_send(self):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._send_latency.observe(time.perf_counter() - started)
+
+
+class RpcMetrics:
+    """Service-layer instruments (held by :class:`RpcServer`)."""
+
+    def __init__(self, registry: MetricRegistry):
+        self.requests = registry.counter(
+            "repro_rpc_requests_total",
+            "RPC requests by method and outcome (ok/error/internal).",
+            ("method", "outcome"),
+        )
+        self.latency = registry.histogram(
+            "repro_rpc_latency_seconds",
+            "Server-side RPC handling latency by method.",
+            ("method",),
+        )
+        self.inflight = registry.gauge(
+            "repro_rpc_inflight",
+            "RPC requests currently being handled.",
+        )
+        self.connections = registry.counter(
+            "repro_rpc_connections_total",
+            "RPC client connections accepted.",
+        )
+
+
+class CoreMetrics:
+    """Core-layer instruments (held by :class:`InstanceManager` and shared
+    with every :class:`ProtocolExecutor` it launches)."""
+
+    def __init__(self, registry: MetricRegistry):
+        self.round_seconds = registry.histogram(
+            "repro_tri_round_seconds",
+            "Duration of one TRI round (local compute + waiting for the "
+            "quorum of shares), by scheme and round index.",
+            ("scheme", "round"),
+        )
+        self.messages = registry.counter(
+            "repro_tri_messages_total",
+            "Protocol messages delivered to executors: accepted shares vs "
+            "rejected (invalid proof/share) ones.",
+            ("scheme", "outcome"),
+        )
+        self.instances = registry.counter(
+            "repro_instances_total",
+            "Protocol instances terminated, by scheme and final status.",
+            ("scheme", "status"),
+        )
+        self.instance_seconds = registry.histogram(
+            "repro_instance_seconds",
+            "Server-side instance latency (creation to finalization), by "
+            "scheme; backs the stats() latency summary.",
+            ("scheme",),
+        )
+        self.inflight = registry.gauge(
+            "repro_instances_inflight",
+            "Protocol instances currently created or running.",
+        )
+        self.backlog_buffered = registry.counter(
+            "repro_backlog_buffered_total",
+            "Early protocol messages buffered before instance creation.",
+        )
+        self.backlog_dropped = registry.counter(
+            "repro_backlog_dropped_total",
+            "Early protocol messages dropped on backlog overflow.",
+        )
+
+
+def crypto_cache_snapshot() -> dict:
+    """Live counters of the process-wide crypto caches (one source of truth
+    for ``stats()``, the registry collector, and the benchmark suites)."""
+    from ..groups.precompute import precompute_stats
+    from ..mathutils.lagrange import lagrange_cache_stats
+
+    return {"fixed_base": precompute_stats(), "lagrange": lagrange_cache_stats()}
+
+
+def register_crypto_cache_collector(
+    registry: MetricRegistry | None = None,
+) -> None:
+    """Expose the PR-1 crypto-cache counters as registry gauges.
+
+    Pull-style: the gauges are refreshed from the caches at collect time,
+    so the caches themselves stay instrumentation-free. Idempotent per
+    registry (keyed on the family's presence).
+    """
+    registry = registry if registry is not None else default_registry()
+    if registry.get("repro_crypto_cache") is not None:
+        return
+    family = registry.gauge(
+        "repro_crypto_cache",
+        "Precompute-cache counters (fixed-base tables, Lagrange "
+        "coefficients) mirrored from the live caches at scrape time.",
+        ("cache", "stat"),
+    )
+
+    def collect() -> None:
+        for cache_name, stats in crypto_cache_snapshot().items():
+            for stat, value in stats.items():
+                family.labels(cache_name, stat).set(value)
+
+    registry.register_collector(collect)

@@ -1,0 +1,144 @@
+"""Lightweight per-request tracing.
+
+A :class:`TraceContext` is created at the RPC entrypoint and propagated
+implicitly (``contextvars``) into the protocol executor task, which records
+one span per TRI round.  The executor also stamps every outgoing
+:class:`~repro.core.messages.ProtocolMessage` with its trace id, so the
+receiving node can attribute each hop to the peer trace that produced it —
+a finished instance reports a per-round/per-hop timing breakdown without
+any clock synchronisation between nodes (all times are offsets into the
+local trace).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from contextlib import contextmanager
+
+_current_trace: contextvars.ContextVar["TraceContext | None"] = contextvars.ContextVar(
+    "repro_current_trace", default=None
+)
+
+
+def _new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass
+class SpanRecord:
+    """One named interval inside a trace (offsets are trace-relative)."""
+
+    name: str
+    start: float
+    end: float
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceEvent:
+    """A point-in-time annotation (e.g. one received protocol message)."""
+
+    name: str
+    at: float
+    attributes: dict = field(default_factory=dict)
+
+
+class TraceContext:
+    """Collects spans and events for one request at one node."""
+
+    def __init__(self, name: str, trace_id: str | None = None):
+        self.name = name
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
+        self._origin = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.events: list[TraceEvent] = []
+
+    def elapsed(self) -> float:
+        """Seconds since the trace began (the offset clock for spans)."""
+        return time.perf_counter() - self._origin
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[SpanRecord]:
+        start = self.elapsed()
+        record = SpanRecord(name, start, start, dict(attributes))
+        try:
+            yield record
+        finally:
+            record.end = self.elapsed()
+            self.spans.append(record)
+
+    def add_span(self, name: str, start: float, end: float, **attributes) -> None:
+        """Record an interval measured externally (trace-relative offsets)."""
+        self.spans.append(SpanRecord(name, start, end, dict(attributes)))
+
+    def event(self, name: str, **attributes) -> None:
+        self.events.append(TraceEvent(name, self.elapsed(), dict(attributes)))
+
+    def report(self) -> dict:
+        """JSON-serialisable breakdown (the ``status`` RPC attaches this)."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "duration": self.elapsed(),
+            "spans": [
+                {
+                    "name": s.name,
+                    "start": s.start,
+                    "end": s.end,
+                    "duration": s.duration,
+                    **({"attributes": s.attributes} if s.attributes else {}),
+                }
+                for s in self.spans
+            ],
+            "events": [
+                {
+                    "name": e.name,
+                    "at": e.at,
+                    **({"attributes": e.attributes} if e.attributes else {}),
+                }
+                for e in self.events
+            ],
+        }
+
+
+def current_trace() -> TraceContext | None:
+    """The trace active in this task (inherited by child tasks)."""
+    return _current_trace.get()
+
+
+@contextmanager
+def start_trace(name: str, trace_id: str | None = None) -> Iterator[TraceContext]:
+    """Activate a new trace for the duration of the ``with`` block.
+
+    Tasks created inside the block inherit the trace through the task's
+    context snapshot, which is how the RPC handler hands its trace to the
+    protocol executor without threading it through every call.
+    """
+    trace = TraceContext(name, trace_id)
+    token = _current_trace.set(trace)
+    try:
+        yield trace
+    finally:
+        _current_trace.reset(token)
+
+
+def adopt_trace(name: str) -> TraceContext:
+    """The ambient trace if one is active, else a fresh detached trace.
+
+    Components that may run either inside a traced request (RPC-initiated)
+    or standalone (a peer-initiated instance) call this instead of
+    :func:`start_trace`.
+    """
+    trace = _current_trace.get()
+    if trace is not None:
+        return trace
+    return TraceContext(name)
