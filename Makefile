@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast check metrics-smoke examples fixtures clean
+.PHONY: install test test-fast bench bench-fast check metrics-smoke chaos-smoke examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -30,6 +30,13 @@ check:
 # and assert the Prometheus scrape output parses (docs/observability.md).
 metrics-smoke:
 	PYTHONPATH=src $(PYTHON) tools/metrics_smoke.py
+
+# Robustness gate: a seeded 4-node cluster with one crashed and one
+# byzantine node must still finalize SG02 decryption and BLS04 signing,
+# with the injected faults visible in the Prometheus scrape and the same
+# seed reproducing the same fault schedule (docs/robustness.md).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) tools/chaos_smoke.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -21,7 +21,12 @@ import logging
 import time
 from typing import Awaitable, Callable
 
-from ...errors import CryptoError, ProtocolAbortedError, SerializationError
+from ...errors import (
+    CryptoError,
+    DuplicateShareError,
+    ProtocolAbortedError,
+    SerializationError,
+)
 from ...telemetry import CoreMetrics, adopt_trace
 from ..messages import ProtocolMessage
 from ..tri import ThresholdRoundProtocol
@@ -30,6 +35,11 @@ from .instance import InstanceRecord
 logger = logging.getLogger(__name__)
 
 SendFn = Callable[[ProtocolMessage], Awaitable[None]]
+
+#: When the round-progress watchdog fires, as a fraction of the instance
+#: timeout: late enough that the first transmission had a fair chance,
+#: early enough that the re-broadcast can still complete the quorum.
+WATCHDOG_FRACTION = 0.5
 
 
 class ProtocolExecutor:
@@ -55,6 +65,13 @@ class ProtocolExecutor:
         self.trace = adopt_trace(f"instance:{protocol.instance_id}")
         self.record.trace = self.trace
         self._round_started: float | None = None
+        # Graceful-degradation state: message outcomes feed the structured
+        # abort reason, the last outgoing batch feeds the watchdog.
+        self.accepted = 0
+        self.rejected = 0
+        self.duplicates = 0
+        self._last_outgoing: list[ProtocolMessage] = []
+        self._watchdog_task: asyncio.Task | None = None
         # Created lazily: the executor may be constructed before the event
         # loop runs, and get_event_loop() outside a running loop is both
         # deprecated and a cross-loop hazard.
@@ -73,20 +90,88 @@ class ProtocolExecutor:
     async def run(self) -> None:
         """Execute until the protocol finalizes, aborts, or times out."""
         self.record.mark_running()
+        if self._timeout is not None:
+            self._watchdog_task = asyncio.get_running_loop().create_task(
+                self._watchdog(self._timeout * WATCHDOG_FRACTION)
+            )
         try:
             if self._timeout is not None:
                 await asyncio.wait_for(self._run_inner(), self._timeout)
             else:
                 await self._run_inner()
         except asyncio.TimeoutError:
-            self._fail(f"instance {self.protocol.instance_id} timed out")
+            reason, detail = self._classify_timeout()
+            self._fail(
+                f"instance {self.protocol.instance_id} timed out ({detail})",
+                reason,
+            )
         except ProtocolAbortedError as exc:
-            self._fail(f"protocol aborted: {exc}")
+            self._fail(
+                f"protocol aborted: {exc}",
+                getattr(exc, "reason", "aborted"),
+            )
         except CryptoError as exc:
-            self._fail(f"cryptographic failure: {exc}")
+            self._fail(f"cryptographic failure: {exc}", "byzantine_detected")
         except Exception as exc:  # noqa: BLE001 - report, don't crash the node
             logger.exception("executor crashed for %s", self.protocol.instance_id)
-            self._fail(f"internal error: {exc}")
+            self._fail(f"internal error: {exc}", "internal")
+        finally:
+            if self._watchdog_task is not None:
+                self._watchdog_task.cancel()
+
+    def _classify_timeout(self) -> tuple[str, str]:
+        """Map a timeout onto the structured abort taxonomy.
+
+        Rejected shares are evidence of byzantine peers; a quorum deficit
+        with only clean messages means not enough parties answered; an
+        apparent quorum that still timed out stays a plain ``timeout``.
+        """
+        progress = self.protocol.progress()
+        detail = (
+            f"{progress[0]}/{progress[1]} shares"
+            if progress is not None
+            else "progress unknown"
+        )
+        detail += f", {self.rejected} rejected"
+        if self.rejected > 0:
+            return "byzantine_detected", detail
+        if progress is not None and progress[0] < progress[1]:
+            return "insufficient_shares", detail
+        return "timeout", detail
+
+    async def _watchdog(self, delay: float) -> None:
+        """Round-progress watchdog: one re-broadcast before the timeout.
+
+        A dropped share on a lossy link is otherwise fatal to a one-shot
+        protocol; re-sending this node's current-round messages once gives
+        the quorum a second chance at a fraction of the timeout budget.
+        """
+        try:
+            await asyncio.sleep(delay)
+        except asyncio.CancelledError:
+            return
+        if self.protocol.finalized or not self._last_outgoing:
+            return
+        progress = self.protocol.progress()
+        if progress is not None and progress[0] >= progress[1]:
+            return  # quorum already reached; finalization is in flight
+        self.trace.event(
+            "rebroadcast",
+            round=self.protocol.round,
+            have=progress[0] if progress else -1,
+            need=progress[1] if progress else -1,
+        )
+        if self._metrics is not None:
+            self._metrics.rebroadcasts.labels(self.record.scheme).inc()
+        for message in list(self._last_outgoing):
+            try:
+                await self._send(self._stamp(message))
+            except Exception:  # noqa: BLE001 - best effort, transport may be down
+                logger.warning(
+                    "watchdog re-broadcast failed for %s",
+                    self.protocol.instance_id,
+                )
+                return
 
     def _stamp(self, message: ProtocolMessage) -> ProtocolMessage:
         """Tag an outgoing message with this instance's trace id."""
@@ -110,10 +195,14 @@ class ProtocolExecutor:
             ).observe(duration)
         self._round_started = None
 
+    async def _send_round(self, messages: list[ProtocolMessage]) -> None:
+        self._last_outgoing = list(messages)
+        for message in messages:
+            await self._send(self._stamp(message))
+
     async def _run_inner(self) -> None:
         self._round_started = time.perf_counter()
-        for message in self.protocol.do_round():
-            await self._send(self._stamp(message))
+        await self._send_round(self.protocol.do_round())
         while True:
             if self.protocol.is_ready_to_finalize():
                 self._close_round()
@@ -124,6 +213,13 @@ class ProtocolExecutor:
                 self.protocol.update(message)
             except ProtocolAbortedError:
                 raise
+            except DuplicateShareError:
+                # Benign: transport-level duplicates and watchdog
+                # re-broadcasts echo shares we already hold.  Not evidence
+                # of byzantine behaviour.
+                self.duplicates += 1
+                self._note_message(message, "duplicate")
+                continue
             except (CryptoError, SerializationError) as exc:
                 # A bad share from a faulty party: drop it and keep waiting;
                 # robust schemes terminate as long as t+1 honest shares arrive.
@@ -133,8 +229,10 @@ class ProtocolExecutor:
                     message.sender,
                     exc,
                 )
+                self.rejected += 1
                 self._note_message(message, "rejected")
                 continue
+            self.accepted += 1
             self._note_message(message, "accepted")
             if self.protocol.is_ready_to_finalize():
                 self._close_round()
@@ -144,8 +242,7 @@ class ProtocolExecutor:
                 self._close_round()
                 self.protocol.advance_round()
                 self._round_started = time.perf_counter()
-                for outgoing in self.protocol.do_round():
-                    await self._send(self._stamp(outgoing))
+                await self._send_round(self.protocol.do_round())
 
     def _note_message(self, message: ProtocolMessage, outcome: str) -> None:
         """One received share: a hop event on the trace plus a counter."""
@@ -165,12 +262,14 @@ class ProtocolExecutor:
         if not self.result_future.done():
             self.result_future.set_result(result)
 
-    def _fail(self, reason: str) -> None:
+    def _fail(self, error: str, reason: str = "aborted") -> None:
         self._close_round()
-        self.record.mark_failed(reason)
+        self.record.mark_failed(error, reason)
         self._observe_termination("failed")
+        if self._metrics is not None:
+            self._metrics.aborts.labels(self.record.scheme, reason).inc()
         if not self.result_future.done():
-            self.result_future.set_exception(ProtocolAbortedError(reason))
+            self.result_future.set_exception(ProtocolAbortedError(error, reason))
 
     def _observe_termination(self, status: str) -> None:
         if self._metrics is None:

@@ -29,6 +29,10 @@ class InstanceRecord:
     finished_at: float | None = None
     result: bytes | None = None
     error: str | None = None
+    #: Structured abort classification set by the executor on failure:
+    #: ``timeout`` / ``insufficient_shares`` / ``byzantine_detected`` /
+    #: ``aborted`` / ``internal`` (None while not failed).
+    abort_reason: str | None = None
     #: Telemetry trace recorded by the executor (per-round spans, per-hop
     #: events); set when the instance starts, reported via the status RPC.
     trace: object | None = None
@@ -49,11 +53,12 @@ class InstanceRecord:
         self.result = result
         self.finished_at = time.monotonic()
 
-    def mark_failed(self, error: str) -> None:
+    def mark_failed(self, error: str, reason: str = "aborted") -> None:
         if self.status in (InstanceStatus.FINISHED, InstanceStatus.FAILED):
             raise ProtocolError(f"instance {self.instance_id} already terminated")
         self.status = InstanceStatus.FAILED
         self.error = error
+        self.abort_reason = reason
         self.finished_at = time.monotonic()
 
     @property

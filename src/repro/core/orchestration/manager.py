@@ -74,15 +74,25 @@ class InstanceManager:
         self.metrics.inflight.inc()
         task = asyncio.get_running_loop().create_task(executor.run())
         self._tasks.add(task)
-        task.add_done_callback(self._on_task_done)
+        task.add_done_callback(
+            lambda t, instance_id=instance_id: self._on_task_done(t, instance_id)
+        )
         # Drain messages that beat the request to this node.
         for message in self._backlog.pop(instance_id, []):
             executor.inbox.put_nowait(message)
         return record
 
-    def _on_task_done(self, task: asyncio.Task) -> None:
+    def _on_task_done(self, task: asyncio.Task, instance_id: str) -> None:
         self._tasks.discard(task)
         self.metrics.inflight.dec()
+        # Terminated instances must not pin state: drop any backlog entries
+        # that raced in and drain the executor's inbox so residual shares
+        # from slow peers are released rather than accumulated.
+        self._backlog.pop(instance_id, None)
+        executor = self._executors.get(instance_id)
+        if executor is not None:
+            while not executor.inbox.empty():
+                executor.inbox.get_nowait()
 
     # -- message routing --------------------------------------------------------
 
@@ -140,3 +150,4 @@ class InstanceManager:
                 await task
             except (asyncio.CancelledError, ProtocolAbortedError):
                 pass
+        self._backlog.clear()

@@ -151,6 +151,11 @@ class FrostProtocol(ThresholdRoundProtocol):
             and len(self._share_payloads) == self._parties
         )
 
+    def progress(self) -> tuple[int, int]:
+        if self.round == 0:
+            return len(self._commitments), self._parties
+        return len(self._share_payloads), self._parties
+
     def finalize(self) -> bytes:
         if not self.is_ready_to_finalize():
             raise ProtocolError("FROST finalize before all shares arrived")

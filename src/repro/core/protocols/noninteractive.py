@@ -56,6 +56,12 @@ class NonInteractiveProtocol(ThresholdRoundProtocol):
     def is_ready_for_next_round(self) -> bool:
         return False  # single-round protocol
 
+    def progress(self) -> tuple[int, int]:
+        return (
+            self._operation.share_count,
+            self._operation.threshold + 1,
+        )
+
     def is_ready_to_finalize(self) -> bool:
         return self._started and self._operation.have_quorum
 

@@ -13,7 +13,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
-from ...errors import ConfigurationError, DuplicateShareError
+from ...errors import (
+    ConfigurationError,
+    DuplicateShareError,
+    InvalidShareError,
+    ThetacryptError,
+)
 from ...schemes import bls04, bz03, cks05, sg02, sh00
 from ...schemes.base import (
     ThresholdCipher,
@@ -57,8 +62,19 @@ class ShareOperation(ABC):
         """Assemble the stored shares into the final serialized result."""
 
     def accept_share(self, payload: bytes) -> None:
-        """Verify and store a peer's partial result."""
-        share = self._deserialize_and_verify(payload)
+        """Verify and store a peer's partial result.
+
+        Rejection is total: a byzantine peer controls every payload byte,
+        so decode errors of any flavour (not just the library's own) are
+        normalised to :class:`InvalidShareError` — the executor drops the
+        share and the aggregate is never poisoned.
+        """
+        try:
+            share = self._deserialize_and_verify(payload)
+        except ThetacryptError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - arbitrary bytes, arbitrary errors
+            raise InvalidShareError(f"malformed share payload: {exc}") from exc
         if share.id in self._shares:
             raise DuplicateShareError(f"duplicate share from party {share.id}")
         self._shares[share.id] = share

@@ -64,6 +64,15 @@ class ThresholdRoundProtocol(ABC):
     def finalize(self) -> bytes:
         """Compute the final result locally (e.g. assemble partial shares)."""
 
+    def progress(self) -> tuple[int, int] | None:
+        """(collected, needed) for the current round, or None if unknown.
+
+        Optional: lets the executor classify a timeout as
+        ``insufficient_shares`` (quorum never formed) versus a plain
+        ``timeout`` (stalled despite apparent progress).
+        """
+        return None
+
     # -- shared bookkeeping --------------------------------------------------
 
     def advance_round(self) -> None:

@@ -61,7 +61,17 @@ class ProtocolError(ThetacryptError):
 
 
 class ProtocolAbortedError(ProtocolError):
-    """A protocol instance aborted (e.g. FROST misbehaviour, DKG complaint)."""
+    """A protocol instance aborted (e.g. FROST misbehaviour, DKG complaint).
+
+    ``reason`` is a structured, machine-readable abort classification
+    (``timeout`` / ``insufficient_shares`` / ``byzantine_detected`` /
+    ``aborted`` / ``internal``) surfaced through ``stats()`` and the RPC
+    error alongside the human-readable message.
+    """
+
+    def __init__(self, message: str = "", reason: str = "aborted"):
+        super().__init__(message)
+        self.reason = reason
 
 
 class NetworkError(ThetacryptError):

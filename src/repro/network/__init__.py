@@ -15,12 +15,26 @@ start-up".  Concrete components:
   host platform (e.g. a blockchain node).
 """
 
+from .faults import (
+    Crash,
+    FaultInjector,
+    FaultPlan,
+    FaultyNetwork,
+    LinkFaults,
+    Partition,
+)
 from .interfaces import P2PNetwork, TotalOrderBroadcast
 from .local import LocalHub, LocalP2P
 from .manager import NetworkManager
 
 __all__ = [
+    "Crash",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyNetwork",
+    "LinkFaults",
     "P2PNetwork",
+    "Partition",
     "TotalOrderBroadcast",
     "LocalHub",
     "LocalP2P",

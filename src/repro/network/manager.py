@@ -10,11 +10,14 @@ channel the protocol requested.
 
 from __future__ import annotations
 
+import logging
 from typing import Awaitable, Callable
 
 from ..core.messages import Channel, ProtocolMessage
 from ..errors import ConfigurationError, NetworkError
 from ..telemetry import counter
+
+logger = logging.getLogger(__name__)
 from .gossip import GossipOverlay
 from .interfaces import MessageHandler, P2PNetwork, TotalOrderBroadcast
 from .tob import SequencerTob
@@ -30,6 +33,12 @@ _DISPATCHED = counter(
 _DELIVERED = counter(
     "repro_network_delivered_total",
     "Protocol messages delivered up to the core layer.",
+    ("node",),
+)
+_DECODE_FAILURES = counter(
+    "repro_network_decode_failures_total",
+    "Inbound frames dropped because they failed to decode (corrupted or "
+    "malformed protocol messages from byzantine peers).",
     ("node",),
 )
 
@@ -121,6 +130,7 @@ class NetworkManager:
         self._dispatched_p2p = _DISPATCHED.labels(str(self.node_id), "p2p")
         self._dispatched_tob = _DISPATCHED.labels(str(self.node_id), "tob")
         self._delivered = _DELIVERED.labels(str(self.node_id))
+        self._decode_failures = _DECODE_FAILURES.labels(str(self.node_id))
         self._p2p.set_handler(self._on_p2p)
         if self._tob is not None:
             self._tob.set_handler(self._on_tob)
@@ -167,10 +177,28 @@ class NetworkManager:
     # -- incoming -----------------------------------------------------------------
 
     async def _on_p2p(self, sender: int, data: bytes) -> None:
-        await self._deliver(ProtocolMessage.from_bytes(data))
+        message = self._decode(sender, data)
+        if message is not None:
+            await self._deliver(message)
 
     async def _on_tob(self, sender: int, data: bytes) -> None:
-        await self._deliver(ProtocolMessage.from_bytes(data))
+        message = self._decode(sender, data)
+        if message is not None:
+            await self._deliver(message)
+
+    def _decode(self, sender: int, data: bytes) -> ProtocolMessage | None:
+        """Decode a frame, dropping (not crashing on) undecodable ones.
+
+        A byzantine peer can put arbitrary bytes on the wire; a parse error
+        must cost the receiver one counter increment, not an exception that
+        unwinds the transport's read loop.
+        """
+        try:
+            return ProtocolMessage.from_bytes(data)
+        except Exception:  # noqa: BLE001 - arbitrary bytes fail arbitrarily
+            logger.warning("dropping undecodable frame from node %d", sender)
+            self._decode_failures.inc()
+            return None
 
     async def _deliver(self, message: ProtocolMessage) -> None:
         if message.is_directed() and message.recipient != self.node_id:

@@ -50,7 +50,10 @@ class _Connection:
             if future is None or future.done():
                 continue
             if "error" in response:
-                future.set_exception(RpcError(response["error"]))
+                error = RpcError(response["error"])
+                # Structured abort reason, when the server supplied one.
+                error.reason = response.get("error_reason")
+                future.set_exception(error)
             else:
                 future.set_result(response["result"])
         for future in self._pending.values():

@@ -6,6 +6,7 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from ..errors import ConfigurationError
+from ..network.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,10 @@ class NodeConfig:
     # Plain-HTTP Prometheus scrape endpoint (GET /metrics) on rpc_host.
     # None disables it; 0 binds an ephemeral port (see node.metrics_address).
     metrics_port: int | None = None
+    # Seeded chaos scenario (docs/robustness.md): when set, the node wraps
+    # its transport in a FaultyNetwork so the asyncio service and the
+    # simulator can run the same deterministic fault schedules.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -69,6 +74,8 @@ class NodeConfig:
     def to_json(self) -> str:
         payload = asdict(self)
         payload["peers"] = [asdict(p) for p in self.peers]
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.to_dict()
         return json.dumps(payload, indent=2)
 
     @staticmethod
@@ -76,7 +83,11 @@ class NodeConfig:
         payload = json.loads(text)
         peers = tuple(PeerConfig(**p) for p in payload.pop("peers", []))
         fanout = payload.pop("gossip_fanout", None)
-        return NodeConfig(peers=peers, gossip_fanout=fanout, **payload)
+        plan_payload = payload.pop("fault_plan", None)
+        plan = FaultPlan.from_dict(plan_payload) if plan_payload else None
+        return NodeConfig(
+            peers=peers, gossip_fanout=fanout, fault_plan=plan, **payload
+        )
 
     def with_auth(self, token: str) -> "NodeConfig":
         """Copy of this config with RPC authentication enabled."""

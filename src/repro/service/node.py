@@ -25,6 +25,7 @@ from ..core.protocols import (
 )
 from ..groups.registry import get_group
 from ..errors import ConfigurationError, RpcError
+from ..network.faults import FaultyNetwork
 from ..network.interfaces import P2PNetwork
 from ..network.local import LocalHub
 from ..network.manager import NetworkManager
@@ -75,6 +76,11 @@ class ThetacryptNode:
                 config.listen_port,
                 config.peer_map(),
             )
+        if config.fault_plan is not None:
+            # Chaos mode: the fault wrapper sits directly above the raw
+            # transport, below the manager's channels and any gossip
+            # overlay, so every wire frame passes through the plan.
+            transport = FaultyNetwork(transport, config.fault_plan)
         # ``tob`` lets a host platform supply its own total-order channel
         # (the proxy deployment of Fig. 1); otherwise the node runs the
         # built-in sequencer TOB when enabled.
@@ -366,13 +372,20 @@ class ThetacryptNode:
 
         records = self.instances.records()
         by_status: dict[str, int] = {}
+        aborts: dict[str, int] = {}
         for record in records:
             by_status[record.status.value] = by_status.get(record.status.value, 0) + 1
+            if record.abort_reason is not None:
+                aborts[record.abort_reason] = aborts.get(record.abort_reason, 0) + 1
         return {
             "node_id": self.config.node_id,
             "instances": by_status,
             "active": self.instances.active_count,
             "keys": len(self.keys),
+            # Structured failure taxonomy (docs/robustness.md): how many
+            # instances aborted per reason (timeout / insufficient_shares /
+            # byzantine_detected / ...).
+            "aborts": aborts,
             "latency": dict(summarize(self.registry.get("repro_instance_seconds"))),
             "crypto_cache": crypto_cache_snapshot(),
         }

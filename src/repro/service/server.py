@@ -124,6 +124,12 @@ class RpcServer:
             except ThetacryptError as exc:
                 outcome = "error"
                 response = {"id": request_id, "error": str(exc)}
+                # Structured abort classification (timeout /
+                # insufficient_shares / byzantine_detected / ...) travels
+                # next to the human-readable message.
+                reason = getattr(exc, "reason", None)
+                if reason is not None:
+                    response["error_reason"] = reason
             except Exception as exc:  # noqa: BLE001 - report malformed requests
                 logger.exception("rpc failure")
                 outcome = "internal"
@@ -192,6 +198,7 @@ class RpcServer:
                 "status": record.status.value,
                 "latency": record.latency,
                 "error": record.error,
+                "abort_reason": record.abort_reason,
                 # Per-round/per-hop timing breakdown recorded by the executor.
                 "trace": record.trace_report(),
             }

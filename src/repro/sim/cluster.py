@@ -15,9 +15,10 @@ from :class:`~repro.sim.latency.LatencyModel`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
+from ..network.faults import FaultInjector, FaultPlan
 from .costs import CostModel, calibrated_cost_model
 from .deployments import Deployment
 from .events import FifoCpu, Simulator
@@ -55,6 +56,9 @@ class SimResult:
     cpu_utilization: dict[int, float]
     sim_time: float
     events: int
+    # Chaos accounting when a FaultPlan was active: kind -> injection count
+    # (same taxonomy as the repro_faults_injected counter).
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
 
 class _St:
@@ -66,6 +70,7 @@ class _St:
         "combining",
         "valid",
         "buffered",
+        "buffered_bad",
         "mode",
         "commits",
         "buffered_commits",
@@ -80,6 +85,7 @@ class _St:
         self.combining = False
         self.valid = 0
         self.buffered = 0
+        self.buffered_bad = 0
         self.mode = 0
         self.commits = 0
         self.buffered_commits = 0
@@ -101,6 +107,7 @@ class SimulatedThetaNetwork:
         kg20_over_tob: bool = False,
         tob_sequencer: int = 1,
         crashed_nodes: set[int] | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.deployment = deployment
         self.scheme = scheme
@@ -115,6 +122,15 @@ class SimulatedThetaNetwork:
         self.crashed_nodes = crashed_nodes or set()
         if any(not 1 <= c <= deployment.parties for c in self.crashed_nodes):
             raise ConfigurationError("crashed node id out of range")
+        # Seeded chaos: the same FaultPlan the asyncio service accepts
+        # (docs/robustness.md), mapped onto simulated links and clocks.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            plan_nodes = {c.node for c in fault_plan.crashes} | set(
+                fault_plan.byzantine
+            )
+            if any(not 1 <= c <= deployment.parties for c in plan_nodes):
+                raise ConfigurationError("fault plan node id out of range")
         self.regions = deployment.node_regions()
         if scheme == "kg20" and deployment.parties < 2:
             raise ConfigurationError("KG20 needs at least 2 parties")
@@ -147,10 +163,49 @@ class SimulatedThetaNetwork:
         client_region = self.client_region
         interactive = self.scheme == "kg20"
         crashed = {c - 1 for c in self.crashed_nodes}  # 0-based internally
+        plan = self.fault_plan
+        # Fresh injector per run: the same network object replays the same
+        # fault schedule on every run (determinism contract of FaultPlan).
+        injector = FaultInjector(plan) if plan is not None else None
+        fault_counts: dict[str, int] = {}
 
-        def deliver(src: int, dst: int, delay_extra: float, fn) -> None:
+        def count_fault(kind: str) -> None:
+            fault_counts[kind] = fault_counts.get(kind, 0) + 1
+
+        def deliver(src: int, dst: int, delay_extra: float, fn, corrupted=None) -> None:
             if dst in crashed:
                 return
+            if plan is not None:
+                now = sim.now
+                if plan.crashed(src + 1, now):
+                    count_fault("crash")
+                    return
+                if plan.partitioned(src + 1, dst + 1, now):
+                    count_fault("partition")
+                    return
+            copies = 1
+            extra = 0.0
+            if injector is not None:
+                decision = injector.decide(src + 1, dst + 1)
+                if decision.drop:
+                    count_fault("drop")
+                    return
+                if decision.corrupt:
+                    count_fault("corrupt")
+                    if corrupted is None:
+                        # No corruption model for this message type: the
+                        # receiver cannot parse the frame, so it is lost.
+                        return
+                    fn = corrupted
+                if decision.delay > 0.0:
+                    count_fault("delay")
+                    extra += decision.delay
+                if decision.reorder:
+                    count_fault("reorder")
+                    extra += plan.reorder_hold
+                if decision.duplicate:
+                    count_fault("duplicate")
+                    copies = 2
             if self.kg20_over_tob and interactive:
                 seq = self.tob_sequencer - 1
                 delay = lat(regions[src], regions[seq]) + lat(
@@ -158,7 +213,17 @@ class SimulatedThetaNetwork:
                 )
             else:
                 delay = lat(regions[src], regions[dst])
-            sim.schedule(delay + delay_extra, fn)
+
+            def arrive(fn=fn) -> None:
+                # Crash windows are checked at delivery time too: a message
+                # in flight when the recipient dies is lost with it.
+                if plan is not None and plan.crashed(dst + 1, sim.now):
+                    count_fault("crash")
+                    return
+                fn()
+
+            for _ in range(copies):
+                sim.schedule(delay + delay_extra + extra, arrive)
 
         def record_finish(i: int, r: int) -> None:
             st = states[i][r]
@@ -185,7 +250,7 @@ class SimulatedThetaNetwork:
                     lambda: record_finish(i, r),
                 )
 
-        def queue_buffered_verify(i: int, r: int) -> None:
+        def queue_buffered_verify(i: int, r: int, valid: bool = True) -> None:
             st = states[i][r]
 
             def cost() -> float:
@@ -196,13 +261,16 @@ class SimulatedThetaNetwork:
                 return costs.share_verify
 
             def done() -> None:
-                if st.mode == 2:
+                if st.mode == 2 and valid:
                     st.valid += 1
                     maybe_combine(i, r)
 
             cpus[i].submit(cost, done)
 
-        def on_share(j: int, r: int) -> None:
+        def on_share(j: int, r: int, valid: bool = True) -> None:
+            # ``valid=False`` models a corrupted/byzantine share: the receiver
+            # pays the full verification cost but the share never counts
+            # toward the quorum (it cannot poison the combine).
             st = states[j][r]
 
             def cost() -> float:
@@ -217,8 +285,11 @@ class SimulatedThetaNetwork:
 
             def done() -> None:
                 if st.mode == 1:
-                    st.buffered += 1
-                elif st.mode == 2:
+                    if valid:
+                        st.buffered += 1
+                    else:
+                        st.buffered_bad += 1
+                elif st.mode == 2 and valid:
                     st.valid += 1
                     maybe_combine(j, r)
 
@@ -230,14 +301,26 @@ class SimulatedThetaNetwork:
             st.valid += 1
             for j in range(n):
                 if j != i:
-                    deliver(i, j, 0.0, lambda j=j: on_share(j, r))
+                    deliver(
+                        i,
+                        j,
+                        0.0,
+                        lambda j=j: on_share(j, r),
+                        corrupted=lambda j=j: on_share(j, r, False),
+                    )
             for _ in range(st.buffered):
                 queue_buffered_verify(i, r)
             st.buffered = 0
+            for _ in range(st.buffered_bad):
+                queue_buffered_verify(i, r, valid=False)
+            st.buffered_bad = 0
             maybe_combine(i, r)
 
         def on_request(i: int, r: int) -> None:
             if i in crashed:
+                return
+            if plan is not None and plan.crashed(i + 1, sim.now):
+                count_fault("crash")
                 return
             samples[i][r] = RequestSample(r, i + 1, sim.now, None)
             if interactive:
@@ -346,4 +429,5 @@ class SimulatedThetaNetwork:
             },
             sim_time=sim.now,
             events=sim.events_processed,
+            faults_injected=fault_counts,
         )

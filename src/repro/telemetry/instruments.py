@@ -142,6 +142,19 @@ class CoreMetrics:
             "repro_backlog_dropped_total",
             "Early protocol messages dropped on backlog overflow.",
         )
+        self.aborts = registry.counter(
+            "repro_instance_aborts_total",
+            "Failed protocol instances by scheme and structured abort "
+            "reason (timeout / insufficient_shares / byzantine_detected / "
+            "aborted / internal).",
+            ("scheme", "reason"),
+        )
+        self.rebroadcasts = registry.counter(
+            "repro_round_rebroadcasts_total",
+            "Watchdog re-broadcasts of this node's current-round messages "
+            "for instances that stalled short of the timeout.",
+            ("scheme",),
+        )
 
 
 def crypto_cache_snapshot() -> dict:

@@ -1,0 +1,187 @@
+"""Chaos suite: every scheme under every fault kind, plus structured aborts.
+
+Thetacrypt (§3.2) tolerates up to t corrupted nodes over reliable channels;
+the :class:`~repro.network.faults.FaultyNetwork` deliberately violates the
+channel assumption with seeded faults.  These tests pin down the two halves
+of the robustness claim on a 4-node, t=1 service cluster:
+
+* with at most t faulty nodes (or only message-level faults) every
+  non-interactive scheme still finalizes, and
+* with more than t faulty nodes the instance aborts with the *correct*
+  structured reason (``insufficient_shares`` vs ``byzantine_detected``),
+  visible in the RPC error, the status endpoint, and node stats.
+
+KG20/FROST needs all n parties in both rounds (it is not robust, §4.5), so
+it only appears under the lossless fault kinds (delay/duplicate/reorder).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import RpcError
+from repro.network.faults import Crash, FaultPlan, LinkFaults, Partition
+from repro.network.local import LocalHub
+from repro.serialization import hexlify
+from repro.service.client import ThetacryptClient
+from repro.service.config import make_local_configs
+from repro.service.node import ThetacryptNode, derive_instance_id
+
+ALL_SCHEMES = ("sg02", "bz03", "sh00", "bls04", "kg20", "cks05")
+
+#: Fault kinds that never lose or damage a message: the only ones the
+#: non-robust KG20 flow can run under.
+LOSSLESS = ("delay", "duplicate", "reorder")
+
+#: One seeded plan per fault kind the injector supports.
+PLANS = {
+    "drop": FaultPlan(seed=11, default=LinkFaults(drop=0.25)),
+    "delay": FaultPlan(seed=12, default=LinkFaults(delay=0.01, jitter=0.02)),
+    "duplicate": FaultPlan(seed=13, default=LinkFaults(duplicate=0.5)),
+    "reorder": FaultPlan(
+        seed=14, default=LinkFaults(reorder=0.3), reorder_hold=0.02
+    ),
+    "corrupt": FaultPlan(seed=15, default=LinkFaults(corrupt=0.25)),
+    "partition": FaultPlan(
+        seed=16,
+        partitions=(Partition(groups=((1, 2), (3, 4)), start=0.0, heal=0.4),),
+    ),
+    "crash": FaultPlan(seed=17, crashes=(Crash(node=4, at=0.0),)),
+}
+
+
+async def _chaos_network(all_keys, plan, **overrides):
+    """A 4-node t=1 local-transport cluster with ``plan`` on every node."""
+    configs = make_local_configs(
+        4, 1, transport="local", rpc_base_port=0, fault_plan=plan, **overrides
+    )
+    hub = LocalHub(latency=lambda a, b: 0.001)
+    nodes = []
+    for config in configs:
+        node = ThetacryptNode(config, transport=hub.endpoint(config.node_id))
+        for key_id, km in all_keys.items():
+            node.install_key(
+                key_id, km.scheme, km.public_key, km.share_for(config.node_id)
+            )
+        await node.start()
+        nodes.append(node)
+    client = ThetacryptClient({n.config.node_id: n.rpc_address for n in nodes})
+    return hub, nodes, client
+
+
+async def _teardown(nodes, client):
+    await client.close()
+    for node in nodes:
+        await node.stop()
+
+
+async def _exercise(client, scheme, tag):
+    """One end-to-end threshold operation appropriate for ``scheme``."""
+    data = f"chaos {tag} {scheme}".encode()
+    if scheme in ("sg02", "bz03"):
+        ciphertext = await client.encrypt(scheme, data, b"lbl")
+        assert await client.decrypt(scheme, ciphertext, b"lbl") == data
+    elif scheme in ("sh00", "bls04", "kg20"):
+        signature = await client.sign(scheme, data)
+        assert await client.verify_signature(scheme, data, signature)
+    else:
+        coin = await client.flip_coin(scheme, data)
+        assert len(coin) == 32
+
+
+@pytest.mark.integration
+class TestChaosMatrix:
+    @pytest.mark.parametrize("kind", sorted(PLANS))
+    def test_all_schemes_finalize_under_fault(self, all_keys, kind):
+        async def scenario():
+            hub, nodes, client = await _chaos_network(
+                all_keys, PLANS[kind], instance_timeout=10.0
+            )
+            try:
+                for scheme in ALL_SCHEMES:
+                    if scheme == "kg20" and kind not in LOSSLESS:
+                        continue  # FROST needs all n parties (§4.5)
+                    await _exercise(client, scheme, kind)
+            finally:
+                await _teardown(nodes, client)
+
+        asyncio.run(scenario())
+
+    def test_crash_plus_byzantine_within_tolerance(self, all_keys):
+        """1 crashed + 1 byzantine of 4 (t=1 ⇒ quorum 2): still finalizes."""
+        plan = FaultPlan(
+            seed=23, crashes=(Crash(node=4, at=0.0),), byzantine=(3,)
+        )
+
+        async def scenario():
+            hub, nodes, client = await _chaos_network(
+                all_keys, plan, instance_timeout=10.0
+            )
+            try:
+                await _exercise(client, "sg02", "tolerated")
+                await _exercise(client, "bls04", "tolerated")
+            finally:
+                await _teardown(nodes, client)
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestStructuredAborts:
+    def test_insufficient_shares_when_majority_crashed(self, all_keys):
+        """3 of 4 crashed: the survivor cannot reach quorum and says so."""
+        plan = FaultPlan(
+            seed=31, crashes=(Crash(node=2), Crash(node=3), Crash(node=4))
+        )
+        data = b"abort: not enough shares"
+
+        async def scenario():
+            hub, nodes, client = await _chaos_network(
+                all_keys, plan, instance_timeout=1.5
+            )
+            try:
+                with pytest.raises(RpcError) as err:
+                    await client.call(
+                        1, "flip_coin", {"key_id": "cks05", "data": hexlify(data)}
+                    )
+                assert getattr(err.value, "reason", None) == "insufficient_shares"
+
+                instance_id = derive_instance_id("coin", "cks05", data, b"")
+                status = await client.status(instance_id, node_id=1)
+                assert status["status"] == "failed"
+                assert status["abort_reason"] == "insufficient_shares"
+
+                stats = nodes[0].stats()
+                assert stats["aborts"].get("insufficient_shares", 0) >= 1
+            finally:
+                await _teardown(nodes, client)
+
+        asyncio.run(scenario())
+
+    def test_byzantine_detected_when_majority_corrupt(self, all_keys):
+        """All peers byzantine: the honest node rejects every share and
+        classifies the resulting timeout as ``byzantine_detected``."""
+        plan = FaultPlan(seed=32, byzantine=(2, 3, 4))
+        data = b"abort: corrupted quorum"
+
+        async def scenario():
+            hub, nodes, client = await _chaos_network(
+                all_keys, plan, instance_timeout=1.5
+            )
+            try:
+                # Fan the request out so peers actually send (bad) shares.
+                results = await client.broadcast(
+                    "flip_coin", {"key_id": "cks05", "data": hexlify(data)}
+                )
+                honest = results[1]
+                assert isinstance(honest, RpcError)
+                assert getattr(honest, "reason", None) == "byzantine_detected"
+
+                instance_id = derive_instance_id("coin", "cks05", data, b"")
+                status = await client.status(instance_id, node_id=1)
+                assert status["abort_reason"] == "byzantine_detected"
+                assert nodes[0].stats()["aborts"].get("byzantine_detected", 0) >= 1
+            finally:
+                await _teardown(nodes, client)
+
+        asyncio.run(scenario())

@@ -1,0 +1,215 @@
+"""Determinism contract of the fault-injection harness.
+
+The whole point of a *seeded* FaultPlan is reproducible chaos: the same
+seed must yield the same fault schedule (so a failing chaos run can be
+replayed), and corrupted shares must be rejected by share verification
+without ever poisoning the combined result.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.messages import Channel, ProtocolMessage
+from repro.core.protocols import OperationRequest, make_operation
+from repro.errors import InvalidShareError
+from repro.network.faults import (
+    Crash,
+    FaultInjector,
+    FaultPlan,
+    FaultyNetwork,
+    LinkFaults,
+    Partition,
+    corrupt_frame,
+)
+from repro.network.local import LocalHub
+from repro.sim.cluster import SimulatedThetaNetwork
+from repro.sim.deployments import Deployment
+from repro.sim.latency import Region
+from repro.sim.workload import Workload
+
+from tests.test_faults_chaos import _chaos_network, _teardown
+
+_BUSY = LinkFaults(
+    drop=0.2, delay=0.005, jitter=0.01, duplicate=0.15, reorder=0.15, corrupt=0.1
+)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(seed=42, default=_BUSY)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        seq_a = [a.decide(1, 2) for _ in range(300)]
+        seq_b = [b.decide(1, 2) for _ in range(300)]
+        assert seq_a == seq_b
+        # The schedule is non-trivial: every fault kind actually fires.
+        assert any(d.drop for d in seq_a)
+        assert any(d.duplicate for d in seq_a)
+        assert any(d.reorder for d in seq_a)
+        assert any(d.corrupt for d in seq_a)
+        assert all(d.delay >= 0.005 for d in seq_a)
+
+    def test_links_independent_of_interleaving(self):
+        """Per-link streams do not bleed into each other: drawing links in a
+        different global order yields the same per-link schedule."""
+        plan = FaultPlan(seed=7, default=_BUSY)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        interleaved = {(1, 2): [], (1, 3): [], (2, 1): []}
+        for _ in range(100):
+            for link in interleaved:
+                interleaved[link].append(a.decide(*link))
+        sequential = {
+            link: [b.decide(*link) for _ in range(100)] for link in interleaved
+        }
+        assert interleaved == sequential
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=1, default=_BUSY))
+        b = FaultInjector(FaultPlan(seed=2, default=_BUSY))
+        assert [a.decide(1, 2) for _ in range(100)] != [
+            b.decide(1, 2) for _ in range(100)
+        ]
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(
+            seed=99,
+            default=LinkFaults(drop=0.1),
+            links={"1->2": LinkFaults(delay=0.5), "*->3": LinkFaults(corrupt=1.0)},
+            partitions=(Partition(groups=((1, 2), (3, 4)), start=1.0, heal=2.0),),
+            crashes=(Crash(node=4, at=0.5, recover=3.0),),
+            byzantine=(2,),
+            byzantine_rate=0.8,
+            reorder_hold=0.1,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestCorruption:
+    def test_corrupt_frame_preserves_envelope(self):
+        message = ProtocolMessage("inst-7", 2, 1, Channel.P2P, b"share-payload")
+        frame = b"\x01" + message.to_bytes()  # multiplexer-tagged, as on wire
+        corrupted = corrupt_frame(frame, random.Random(5))
+        assert corrupted != frame
+        assert corrupted[:1] == b"\x01"
+        parsed = ProtocolMessage.from_bytes(corrupted[1:])
+        assert (parsed.instance_id, parsed.sender, parsed.round) == ("inst-7", 2, 1)
+        assert parsed.payload != message.payload
+
+    def test_corrupt_frame_is_deterministic(self):
+        message = ProtocolMessage("inst", 1, 0, Channel.P2P, b"0123456789")
+        frame = message.to_bytes()
+        assert corrupt_frame(frame, random.Random(3)) == corrupt_frame(
+            frame, random.Random(3)
+        )
+
+    def test_unparseable_frame_still_corrupted(self):
+        assert corrupt_frame(b"not a protocol frame", random.Random(1)) != (
+            b"not a protocol frame"
+        )
+        assert corrupt_frame(b"", random.Random(1)) == b""
+
+    def test_corrupted_share_rejected_without_poisoning(self, keys_cks05):
+        """A flipped payload byte is rejected by share verification; the
+        combine over the remaining honest shares is unaffected."""
+        keys = keys_cks05
+        request = OperationRequest("coin", b"poison-check")
+        ops = {
+            share.id: make_operation(
+                keys.scheme, keys.public_key, share, request
+            )
+            for share in keys.key_shares
+        }
+        payloads = {pid: op.create_own_share() for pid, op in ops.items()}
+
+        clean = make_operation(
+            keys.scheme, keys.public_key, keys.share_for(1), request
+        )
+        clean.create_own_share()
+        clean.accept_share(payloads[2])
+        reference = clean.combine()
+
+        victim = ops[1]
+        corrupted = bytearray(payloads[3])
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        with pytest.raises(InvalidShareError):
+            victim.accept_share(bytes(corrupted))
+        assert victim.share_count == 1  # the bad share was never stored
+        victim.accept_share(payloads[2])
+        assert victim.combine() == reference
+
+
+@pytest.mark.integration
+class TestEndToEndDeterminism:
+    def test_sim_chaos_identical_schedules_and_outcomes(self):
+        """The discrete-event runtime is fully deterministic: same plan,
+        same workload ⇒ identical fault schedule and completion set."""
+        deployment = Deployment("LAN4", "small", 4, 1, (Region.FRA1,) * 4, 100)
+        plan = FaultPlan(
+            seed=7,
+            default=LinkFaults(drop=0.2, delay=0.01, corrupt=0.1),
+            crashes=(Crash(node=4, at=0.0),),
+            byzantine=(3,),
+        )
+        workload = Workload(rate=5, duration=2.0, payload_bytes=64)
+        network = SimulatedThetaNetwork(deployment, "sg02", fault_plan=plan)
+        first = network.run(workload)
+        second = network.run(workload)
+        assert first.faults_injected  # the plan actually fired
+        assert first.faults_injected == second.faults_injected
+        assert set(first.request_first_finish) == set(
+            second.request_first_finish
+        )
+        # 1 crashed + 1 byzantine of 4 at t=1: every request still finishes.
+        assert len(first.request_first_finish) == len(workload.arrival_times())
+
+    def test_sim_different_seeds_differ(self):
+        deployment = Deployment("LAN4", "small", 4, 1, (Region.FRA1,) * 4, 100)
+        workload = Workload(rate=5, duration=2.0, payload_bytes=64)
+        runs = {}
+        for seed in (1, 2):
+            plan = FaultPlan(seed=seed, default=LinkFaults(drop=0.3))
+            runs[seed] = SimulatedThetaNetwork(
+                deployment, "cks05", fault_plan=plan
+            ).run(workload)
+        assert runs[1].faults_injected != runs[2].faults_injected
+
+    def test_service_chaos_reproducible(self, all_keys):
+        """Two fresh clusters under the same seeded plan both finalize and
+        agree on the result, with corrupted shares visibly rejected."""
+        plan = FaultPlan(seed=77, byzantine=(2,), default=LinkFaults(drop=0.1))
+
+        async def one_run():
+            hub, nodes, client = await _chaos_network(
+                all_keys, plan, instance_timeout=10.0
+            )
+            try:
+                ciphertext = await client.encrypt(
+                    "sg02", b"same seed, same story", b"l", node_id=1
+                )
+                return await client.decrypt("sg02", ciphertext, b"l")
+            finally:
+                await _teardown(nodes, client)
+
+        first = asyncio.run(one_run())
+        second = asyncio.run(one_run())
+        assert first == second == b"same seed, same story"
+
+    def test_faulty_network_counts_faults(self, all_keys):
+        """Injected faults surface on repro_faults_injected for the node."""
+        plan = FaultPlan(seed=5, default=LinkFaults(drop=0.5))
+
+        async def scenario():
+            hub, nodes, client = await _chaos_network(
+                all_keys, plan, instance_timeout=10.0
+            )
+            try:
+                await client.flip_coin("cks05", b"count-faults")
+                text = "\n".join(n.render_metrics() for n in nodes)
+                assert 'repro_faults_injected{kind="drop"' in text or (
+                    'kind="drop"' in text
+                )
+            finally:
+                await _teardown(nodes, client)
+
+        asyncio.run(scenario())

@@ -54,19 +54,25 @@ class TestKneeDetection:
 
 @pytest.mark.integration
 class TestTcpFaults:
-    def test_send_to_dead_peer_does_not_raise(self, monkeypatch):
+    def test_send_to_dead_peer_does_not_raise(self):
         """The model assumes reliable channels; a dead peer is tolerated
-        by the protocol layer (≤ t faults), so send must not blow up."""
-        import repro.network.tcp as tcp_module
-
-        monkeypatch.setattr(tcp_module, "_DIAL_RETRIES", 2)
-        monkeypatch.setattr(tcp_module, "_DIAL_BACKOFF", 0.05)
+        by the protocol layer (≤ t faults), so send must not blow up —
+        the frame lands on the resend queue instead."""
 
         async def scenario():
-            node = TcpP2P(1, "127.0.0.1", 19901, {2: ("127.0.0.1", 19999)})
+            node = TcpP2P(
+                1,
+                "127.0.0.1",
+                19901,
+                {2: ("127.0.0.1", 19999)},
+                dial_retries=2,
+                backoff_base=0.01,
+                send_deadline=0.5,
+            )
             await node.start()
             try:
                 await node.send(2, b"into the void")  # nobody listens on 19999
+                assert len(node._resend_queues[2]) == 1
             finally:
                 await node.stop()
 
