@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast check metrics-smoke chaos-smoke examples fixtures clean
+.PHONY: install test test-fast bench bench-fast check metrics-smoke chaos-smoke recovery-smoke examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -37,6 +37,13 @@ metrics-smoke:
 # seed reproducing the same fault schedule (docs/robustness.md).
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) tools/chaos_smoke.py
+
+# Durability gate: a 4-node daemon cluster with per-node data_dir; node 4
+# is SIGKILLed mid-protocol and restarted from disk, which must recover
+# its keys, serve cached results, and abort the in-flight instance with
+# the structured crash_recovery reason (docs/robustness.md).
+recovery-smoke:
+	PYTHONPATH=src $(PYTHON) tools/recovery_smoke.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -31,7 +31,8 @@ class InstanceRecord:
     error: str | None = None
     #: Structured abort classification set by the executor on failure:
     #: ``timeout`` / ``insufficient_shares`` / ``byzantine_detected`` /
-    #: ``aborted`` / ``internal`` (None while not failed).
+    #: ``aborted`` / ``internal``, plus ``crash_recovery`` for instances
+    #: that were in-flight when the node died (None while not failed).
     abort_reason: str | None = None
     #: Telemetry trace recorded by the executor (per-round spans, per-hop
     #: events); set when the instance starts, reported via the status RPC.
@@ -42,6 +43,38 @@ class InstanceRecord:
         if self.trace is None:
             return None
         return self.trace.report()
+
+    @classmethod
+    def restored_finished(
+        cls, instance_id: str, scheme: str, result: bytes
+    ) -> "InstanceRecord":
+        """A record rebuilt from the durable result cache at recovery time.
+
+        ``finished_at == created_at``: the work happened in a previous
+        process life, so the restored record contributes zero latency (it
+        must not skew the paper's server-side latency metric).
+        """
+        record = cls(instance_id, scheme)
+        record.status = InstanceStatus.FINISHED
+        record.result = result
+        record.finished_at = record.created_at
+        return record
+
+    @classmethod
+    def restored_aborted(
+        cls,
+        instance_id: str,
+        scheme: str,
+        error: str,
+        reason: str = "crash_recovery",
+    ) -> "InstanceRecord":
+        """A record for an instance that was in-flight when the node died."""
+        record = cls(instance_id, scheme)
+        record.status = InstanceStatus.FAILED
+        record.error = error
+        record.abort_reason = reason
+        record.finished_at = record.created_at
+        return record
 
     def mark_running(self) -> None:
         self.status = InstanceStatus.RUNNING

@@ -29,10 +29,22 @@ class KeyEntry:
 
 
 class KeyManager:
-    """Per-node store of threshold key material."""
+    """Per-node store of threshold key material.
 
-    def __init__(self) -> None:
+    With a ``store`` (a :class:`repro.storage.DurableKeystore`-shaped
+    object) attached, every ``register``/``remove`` persists through it
+    before updating memory, and previously persisted shares are reloaded
+    at construction — key custody survives process death.
+    """
+
+    def __init__(self, store=None) -> None:
         self._keys: dict[str, KeyEntry] = {}
+        self._store = store
+        if store is not None:
+            for key_id, scheme, share in store.items():
+                # Direct insert: these entries are already on disk, and
+                # register() would redundantly rewrite the snapshot.
+                self._keys[key_id] = KeyEntry(key_id, scheme, share.public, share)
 
     def register(
         self, key_id: str, scheme: str, public_key: object, key_share: object
@@ -41,6 +53,8 @@ class KeyManager:
             raise KeyManagementError(f"key id {key_id!r} already registered")
         if scheme not in SCHEME_TABLE:
             raise KeyManagementError(f"unknown scheme {scheme!r}")
+        if self._store is not None:
+            self._store.put(key_id, scheme, key_share)
         self._keys[key_id] = KeyEntry(key_id, scheme, public_key, key_share)
 
     def get(self, key_id: str) -> KeyEntry:
@@ -51,6 +65,8 @@ class KeyManager:
     def remove(self, key_id: str) -> None:
         if key_id not in self._keys:
             raise KeyManagementError(f"unknown key id {key_id!r}")
+        if self._store is not None:
+            self._store.remove(key_id)
         del self._keys[key_id]
 
     def list_keys(self, scheme: str | None = None) -> list[KeyEntry]:

@@ -6,6 +6,19 @@ instances and is responsible for managing the state of every new instance"
 arrive from fast peers *before* the local node has created the matching
 instance (the request races the first share), so undeliverable messages are
 buffered and drained at creation time.
+
+Durability (docs/robustness.md, "Durability & recovery"): with a
+``journal`` attached, every instance lifecycle transition (submitted /
+finalized / aborted) is appended to the write-ahead log before or as it
+happens, and finalized results additionally go to the durable ``results``
+cache — after a crash, :meth:`restore_finished` / :meth:`restore_aborted`
+rebuild the records a restarted node must be able to answer for.
+
+Overload shedding: ``max_pending`` bounds the number of concurrently
+active instances; excess submissions are rejected *before* an executor is
+created, with a structured ``overloaded`` error carrying a retry-after
+hint, so a saturated node degrades into fast rejections instead of a
+growing pile of doomed timeouts.
 """
 
 from __future__ import annotations
@@ -14,7 +27,7 @@ import asyncio
 import logging
 from collections import defaultdict
 
-from ...errors import ProtocolAbortedError, ProtocolError
+from ...errors import ProtocolAbortedError, ProtocolError, RpcError
 from ...telemetry import CoreMetrics, MetricRegistry, default_registry
 from ..messages import ProtocolMessage
 from ..tri import ThresholdRoundProtocol
@@ -37,6 +50,10 @@ class InstanceManager:
         send: SendFn,
         default_timeout: float | None = 60.0,
         registry: MetricRegistry | None = None,
+        journal=None,
+        results=None,
+        max_pending: int | None = None,
+        overload_retry_after: float = 0.25,
     ):
         self.party_id = party_id
         self._send = send
@@ -44,10 +61,17 @@ class InstanceManager:
         self.metrics = CoreMetrics(
             registry if registry is not None else default_registry()
         )
+        self._journal = journal
+        self._results = results
+        self._max_pending = max_pending
+        self._overload_retry_after = overload_retry_after
         self._executors: dict[str, ProtocolExecutor] = {}
         self._records: dict[str, InstanceRecord] = {}
         self._backlog: dict[str, list[ProtocolMessage]] = defaultdict(list)
         self._tasks: set[asyncio.Task] = set()
+        #: Live executor count; kept explicitly (not derived from records)
+        #: so the overload check stays O(1) on the submission hot path.
+        self._active = 0
 
     # -- creation -------------------------------------------------------------
 
@@ -61,6 +85,24 @@ class InstanceManager:
         instance_id = protocol.instance_id
         if instance_id in self._records:
             return self._records[instance_id]
+        # Idempotency across restarts: a duplicate of a request finalized
+        # in a previous process life is answered from the durable result
+        # cache without re-running the protocol.
+        if self._results is not None:
+            cached = self._results.get(instance_id)
+            if cached is not None:
+                return self.restore_finished(instance_id, cached[0], cached[1])
+        if self._max_pending is not None and self._active >= self._max_pending:
+            self.metrics.rejected.labels("overloaded").inc()
+            raise RpcError(
+                f"node overloaded: {self._active} instances pending "
+                f"(limit {self._max_pending})",
+                reason="overloaded",
+                retry_after=self._overload_retry_after,
+            )
+        self._journal_event(
+            {"event": "submitted", "id": instance_id, "scheme": scheme}
+        )
         record = InstanceRecord(instance_id, scheme)
         executor = ProtocolExecutor(
             protocol,
@@ -71,6 +113,7 @@ class InstanceManager:
         )
         self._records[instance_id] = record
         self._executors[instance_id] = executor
+        self._active += 1
         self.metrics.inflight.inc()
         task = asyncio.get_running_loop().create_task(executor.run())
         self._tasks.add(task)
@@ -84,6 +127,7 @@ class InstanceManager:
 
     def _on_task_done(self, task: asyncio.Task, instance_id: str) -> None:
         self._tasks.discard(task)
+        self._active -= 1
         self.metrics.inflight.dec()
         # Terminated instances must not pin state: drop any backlog entries
         # that raced in and drain the executor's inbox so residual shares
@@ -93,6 +137,72 @@ class InstanceManager:
         if executor is not None:
             while not executor.inbox.empty():
                 executor.inbox.get_nowait()
+        record = self._records.get(instance_id)
+        if record is None:
+            return
+        if record.status is InstanceStatus.FINISHED:
+            if self._results is not None and record.result is not None:
+                self._persist_guarded(
+                    lambda: self._results.put(
+                        instance_id, record.scheme, record.result
+                    )
+                )
+            self._journal_event({"event": "finalized", "id": instance_id})
+        elif record.status is InstanceStatus.FAILED:
+            self._journal_event(
+                {
+                    "event": "aborted",
+                    "id": instance_id,
+                    "reason": record.abort_reason or "aborted",
+                }
+            )
+        # A cancelled executor (node shutdown) leaves no terminal journal
+        # record on purpose: replay classifies it as in-flight at crash
+        # time and recovery marks it ``crash_recovery``.
+
+    def _journal_event(self, record: dict) -> None:
+        if self._journal is None:
+            return
+        self._persist_guarded(lambda: self._journal.append(record))
+
+    @staticmethod
+    def _persist_guarded(write) -> None:
+        """Durability writes must not take down a live protocol instance;
+        a full disk degrades the node to memory-only, loudly."""
+        try:
+            write()
+        except Exception:  # noqa: BLE001 - log and keep serving
+            logger.exception("durable-state write failed; continuing in-memory")
+
+    # -- crash recovery --------------------------------------------------------
+
+    def restore_finished(
+        self, instance_id: str, scheme: str, result: bytes
+    ) -> InstanceRecord:
+        """Rebuild a finalized record from the durable result cache."""
+        existing = self._records.get(instance_id)
+        if existing is not None:
+            return existing
+        record = InstanceRecord.restored_finished(instance_id, scheme, result)
+        self._records[instance_id] = record
+        return record
+
+    def restore_aborted(
+        self, instance_id: str, scheme: str, reason: str = "crash_recovery"
+    ) -> InstanceRecord:
+        """Mark an instance that was in-flight at crash time as aborted."""
+        existing = self._records.get(instance_id)
+        if existing is not None:
+            return existing
+        record = InstanceRecord.restored_aborted(
+            instance_id,
+            scheme,
+            f"instance {instance_id} was in flight when the node crashed",
+            reason,
+        )
+        self._records[instance_id] = record
+        self.metrics.aborts.labels(scheme, reason).inc()
+        return record
 
     # -- message routing --------------------------------------------------------
 
@@ -105,6 +215,8 @@ class InstanceManager:
                 return  # residual message from a slow peer; §4.5 discusses these
             await executor.deliver(message)
             return
+        if message.instance_id in self._records:
+            return  # restored (recovered) instance: terminal, no executor
         backlog = self._backlog[message.instance_id]
         if len(backlog) >= _BACKLOG_LIMIT:
             logger.warning(
@@ -119,9 +231,23 @@ class InstanceManager:
     # -- results ------------------------------------------------------------------
 
     async def result(self, instance_id: str) -> bytes:
-        """Await the result of an instance (raises on abort/timeout)."""
+        """Await the result of an instance (raises on abort/timeout).
+
+        Executor-less records exist after crash recovery: finalized ones
+        answer from their restored result, aborted ones re-raise their
+        structured abort reason.
+        """
         executor = self._executors.get(instance_id)
         if executor is None:
+            record = self._records.get(instance_id)
+            if record is not None and record.status is InstanceStatus.FINISHED:
+                assert record.result is not None
+                return record.result
+            if record is not None and record.status is InstanceStatus.FAILED:
+                raise ProtocolAbortedError(
+                    record.error or f"instance {instance_id} aborted",
+                    record.abort_reason or "aborted",
+                )
             raise ProtocolError(f"unknown instance {instance_id!r}")
         return await asyncio.shield(executor.result_future)
 

@@ -78,8 +78,41 @@ class NetworkError(ThetacryptError):
     """A network layer component failed to deliver or receive a message."""
 
 
+class StorageError(ThetacryptError):
+    """Durable node state (keystore, journal, result cache) failed an
+    integrity check or could not be read/written."""
+
+
+class WalCorruptionError(StorageError):
+    """A write-ahead-log record failed its checksum *mid-stream*.
+
+    A torn **final** record is the expected signature of a crash during an
+    append and is silently tolerated (replay stops there and the tail is
+    truncated); a bad record with more data behind it means the file was
+    damaged after the fact, which recovery must refuse to paper over.
+    """
+
+
 class RpcError(ThetacryptError):
-    """The service layer rejected or failed an RPC call."""
+    """The service layer rejected or failed an RPC call.
+
+    ``reason`` carries the structured classification when there is one
+    (e.g. ``overloaded`` for load-shed submissions) and ``retry_after`` a
+    server-suggested backoff in seconds; both travel through the RPC error
+    response next to the human-readable message.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        reason: str | None = None,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        if reason is not None:
+            self.reason = reason
+        if retry_after is not None:
+            self.retry_after = retry_after
 
 
 class SimulationError(ThetacryptError):

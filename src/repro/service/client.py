@@ -12,9 +12,31 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 
 from ..errors import RpcError
+from ..network.tcp import backoff_delay
 from ..serialization import hexlify, unhexlify
+
+#: Methods safe to retry blindly: reads, plus the protocol operations —
+#: instance ids are derived deterministically from request content and
+#: finalized results are cached (durably, on nodes with a data_dir), so a
+#: repeated submission converges on the same instance instead of running
+#: the protocol twice.  DKG/refresh mutate the key set and stay one-shot.
+_IDEMPOTENT_METHODS = frozenset(
+    {
+        "decrypt",
+        "sign",
+        "flip_coin",
+        "status",
+        "encrypt",
+        "verify_signature",
+        "list_keys",
+        "node_stats",
+        "metrics",
+        "ping",
+    }
+)
 
 
 class _Connection:
@@ -41,25 +63,41 @@ class _Connection:
 
     async def _listen(self) -> None:
         assert self._reader is not None
-        while True:
-            line = await self._reader.readline()
-            if not line:
-                break
-            response = json.loads(line)
-            future = self._pending.pop(response.get("id"), None)
-            if future is None or future.done():
-                continue
-            if "error" in response:
-                error = RpcError(response["error"])
-                # Structured abort reason, when the server supplied one.
-                error.reason = response.get("error_reason")
-                future.set_exception(error)
-            else:
-                future.set_result(response["result"])
-        for future in self._pending.values():
-            if not future.done():
-                future.set_exception(RpcError("connection closed"))
-        self._pending.clear()
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if "error" in response:
+                    error = RpcError(response["error"])
+                    # Structured abort reason, when the server supplied one.
+                    error.reason = response.get("error_reason")
+                    # Overloaded nodes attach a backoff hint; it floors the
+                    # retry delay in ThetacryptClient.call.
+                    error.retry_after = response.get("retry_after")
+                    future.set_exception(error)
+                else:
+                    future.set_result(response["result"])
+        except (ConnectionError, OSError):
+            pass  # abrupt peer death (RST): same treatment as a clean EOF
+        finally:
+            # Fail every waiting caller and drop the dead streams.  A
+            # writer whose peer was SIGKILLed does not report is_closing(),
+            # so without this reset _ensure would happily reuse the corpse
+            # and the next call would wait forever on a response no
+            # listener can deliver.
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(RpcError("connection closed"))
+            self._pending.clear()
+            if self._writer is not None:
+                self._writer.close()
+            self._writer = None
+            self._reader = None
 
     async def call(self, method: str, params: dict) -> dict:
         async with self._lock:
@@ -86,22 +124,74 @@ class ThetacryptClient:
     """Client-side view of a whole Θ-network."""
 
     def __init__(
-        self, addresses: dict[int, tuple[str, int]], auth_token: str = ""
+        self,
+        addresses: dict[int, tuple[str, int]],
+        auth_token: str = "",
+        max_retries: int = 3,
+        retry_base: float = 0.05,
+        retry_cap: float = 1.0,
     ):
         self._connections = {
             node_id: _Connection(host, port, auth_token)
             for node_id, (host, port) in addresses.items()
         }
+        self._max_retries = max_retries
+        self._retry_base = retry_base
+        self._retry_cap = retry_cap
+        self._retry_rng = random.Random()
 
     @property
     def node_ids(self) -> list[int]:
         return sorted(self._connections)
 
+    @staticmethod
+    def _retriable(method: str, exc: Exception) -> bool:
+        """Retry policy: idempotent methods only, and only for transient
+        failures — connection loss, or a node shedding load."""
+        if method not in _IDEMPOTENT_METHODS:
+            return False
+        if isinstance(exc, (ConnectionError, OSError)) and not isinstance(
+            exc, RpcError
+        ):
+            return True
+        if isinstance(exc, RpcError):
+            return (
+                getattr(exc, "reason", None) == "overloaded"
+                or str(exc) == "connection closed"
+            )
+        return False
+
     async def call(self, node_id: int, method: str, params: dict) -> dict:
-        """Invoke one node's RPC endpoint."""
+        """Invoke one node's RPC endpoint.
+
+        Idempotent methods are retried on connection loss and on
+        structured ``overloaded`` rejections, with exponential backoff +
+        jitter (the transport's ``backoff_delay``); an ``overloaded``
+        error's ``retry_after`` hint floors the delay.
+        """
         if node_id not in self._connections:
             raise RpcError(f"unknown node {node_id}")
-        return await self._connections[node_id].call(method, params)
+        connection = self._connections[node_id]
+        attempt = 0
+        while True:
+            try:
+                return await connection.call(method, params)
+            except (RpcError, ConnectionError, OSError) as exc:
+                if attempt >= self._max_retries or not self._retriable(
+                    method, exc
+                ):
+                    raise
+                delay = backoff_delay(
+                    attempt,
+                    self._retry_rng,
+                    base=self._retry_base,
+                    cap=self._retry_cap,
+                )
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after:
+                    delay = max(delay, retry_after)
+            attempt += 1
+            await asyncio.sleep(delay)
 
     async def broadcast(self, method: str, params: dict) -> dict[int, dict]:
         """Invoke every node; returns per-node results (exceptions included)."""

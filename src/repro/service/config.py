@@ -48,6 +48,20 @@ class NodeConfig:
     # its transport in a FaultyNetwork so the asyncio service and the
     # simulator can run the same deterministic fault schedules.
     fault_plan: FaultPlan | None = None
+    # Durability root for this node (docs/robustness.md, "Durability &
+    # recovery"): keystore snapshot, instance journal, and result cache
+    # live under it, and start() runs crash recovery from it.  None keeps
+    # the node memory-only (the pre-durability behaviour).
+    data_dir: str | None = None
+    # Overload shedding: reject new submissions once this many instances
+    # are pending, with a structured ``overloaded`` error carrying
+    # ``overload_retry_after`` as the client's backoff hint.  None never
+    # sheds.
+    max_pending_instances: int | None = None
+    overload_retry_after: float = 0.25
+    # Graceful shutdown: how long the daemon waits for in-flight instances
+    # to finish before tearing the node down.
+    drain_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -63,6 +77,15 @@ class NodeConfig:
                 f"metrics_port must be >= 0 (or None to disable), "
                 f"got {self.metrics_port}"
             )
+        if self.max_pending_instances is not None and self.max_pending_instances < 1:
+            raise ConfigurationError(
+                f"max_pending_instances must be >= 1 (or None to disable), "
+                f"got {self.max_pending_instances}"
+            )
+        if self.overload_retry_after < 0:
+            raise ConfigurationError("overload_retry_after must be >= 0")
+        if self.drain_timeout < 0:
+            raise ConfigurationError("drain_timeout must be >= 0")
 
     def peer_map(self) -> dict[int, tuple[str, int]]:
         return {

@@ -25,7 +25,12 @@ logger = logging.getLogger("repro.daemon")
 
 
 def load_node(config_path: str, keystore_path: str) -> ThetacryptNode:
-    """Build a node from its on-disk configuration and keystore."""
+    """Build a node from its on-disk configuration and keystore.
+
+    With a ``data_dir`` in the config, the node may already hold (durable)
+    keys from a previous life; re-installing identical dealer output is a
+    no-op (``install_key`` is idempotent for identical material).
+    """
     with open(config_path) as handle:
         config = NodeConfig.from_json(handle.read())
     node = ThetacryptNode(config)
@@ -36,8 +41,18 @@ def load_node(config_path: str, keystore_path: str) -> ThetacryptNode:
     return node
 
 
-async def run_until_signal(node: ThetacryptNode) -> None:
-    """Start the node and serve until SIGINT/SIGTERM."""
+async def run_until_signal(
+    node: ThetacryptNode, drain_timeout: float | None = None
+) -> None:
+    """Start the node and serve until SIGINT/SIGTERM.
+
+    Graceful shutdown: on signal the daemon first *drains* — waits up to
+    the configured timeout for in-flight instances to terminate (their
+    results then land in the durable cache and the journal carries their
+    terminal records) — and only then tears down RPC, transports, and the
+    storage handles.  Instances still pending when the budget runs out are
+    recovered as ``crash_recovery`` aborts on the next boot.
+    """
     await node.start()
     host, port = node.rpc_address
     logger.info(
@@ -55,7 +70,19 @@ async def run_until_signal(node: ThetacryptNode) -> None:
         except NotImplementedError:  # pragma: no cover - non-POSIX platforms
             pass
     await stop.wait()
-    logger.info("shutting down node %d", node.config.node_id)
+    budget = drain_timeout if drain_timeout is not None else node.config.drain_timeout
+    logger.info(
+        "shutting down node %d (draining up to %.1fs)",
+        node.config.node_id,
+        budget,
+    )
+    drained = await node.drain(budget)
+    if not drained:
+        logger.warning(
+            "node %d: %d instances still in flight after drain timeout",
+            node.config.node_id,
+            node.instances.active_count,
+        )
     await node.stop()
 
 
@@ -63,6 +90,13 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description="Run one Thetacrypt node")
     parser.add_argument("--config", required=True, help="NodeConfig JSON file")
     parser.add_argument("--keystore", required=True, help="keystore JSON file")
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="seconds to wait for in-flight instances on shutdown "
+        "(default: the config's drain_timeout)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -70,7 +104,7 @@ def main(argv: list[str] | None = None) -> None:
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
     node = load_node(args.config, args.keystore)
-    asyncio.run(run_until_signal(node))
+    asyncio.run(run_until_signal(node, drain_timeout=args.drain_timeout))
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import logging
+from pathlib import Path
 
 from ..core.messages import Channel
 from ..core.orchestration import InstanceManager, InstanceRecord, KeyManager
@@ -24,17 +26,20 @@ from ..core.protocols import (
     make_operation,
 )
 from ..groups.registry import get_group
-from ..errors import ConfigurationError, RpcError
+from ..errors import ConfigurationError, KeyManagementError, RpcError
 from ..network.faults import FaultyNetwork
 from ..network.interfaces import P2PNetwork
 from ..network.local import LocalHub
 from ..network.manager import NetworkManager
 from ..network.tcp import TcpP2P
 from ..schemes.base import SCHEME_TABLE, SchemeKind, get_scheme
+from ..schemes.keystore import export_key_share
 from ..serialization import hexlify
+from ..storage import DurableKeystore, DurableResultCache, WriteAheadLog
 from ..telemetry import (
     MetricRegistry,
     MetricsHttpServer,
+    StorageMetrics,
     default_registry,
     register_crypto_cache_collector,
     render_text,
@@ -42,6 +47,8 @@ from ..telemetry import (
 )
 from .config import NodeConfig
 from .server import RpcServer
+
+logger = logging.getLogger(__name__)
 
 
 def derive_instance_id(kind: str, key_id: str, data: bytes, label: bytes = b"") -> str:
@@ -63,7 +70,22 @@ class ThetacryptNode:
         tob=None,
     ):
         self.config = config
-        self.keys = KeyManager()
+        # Durability (docs/robustness.md): with a data_dir the node owns a
+        # crash-safe keystore snapshot, an instance-lifecycle journal, and
+        # an idempotent-result cache; previously persisted key shares are
+        # reloaded here, before install_key runs.
+        self._keystore: DurableKeystore | None = None
+        self._journal: WriteAheadLog | None = None
+        self._results: DurableResultCache | None = None
+        self._storage_metrics: StorageMetrics | None = None
+        self._recovery: dict = {}
+        if config.data_dir is not None:
+            data_dir = Path(config.data_dir)
+            data_dir.mkdir(parents=True, exist_ok=True)
+            self._keystore = DurableKeystore(data_dir / "keystore.bin")
+            self._journal = WriteAheadLog(data_dir / "journal")
+            self._results = DurableResultCache(data_dir / "results")
+        self.keys = KeyManager(store=self._keystore)
         if transport is None:
             if config.transport != "tcp":
                 raise ConfigurationError(
@@ -98,11 +120,17 @@ class ThetacryptNode:
         # registry and are merged into this node's exposition.
         self.registry = MetricRegistry()
         register_crypto_cache_collector(default_registry())
+        if config.data_dir is not None:
+            self._storage_metrics = StorageMetrics(self.registry)
         self.instances = InstanceManager(
             config.node_id,
             self.network.dispatch,
             default_timeout=config.instance_timeout,
             registry=self.registry,
+            journal=self._journal,
+            results=self._results,
+            max_pending=config.max_pending_instances,
+            overload_retry_after=config.overload_retry_after,
         )
         self.network.set_protocol_handler(self.instances.handle_network_message)
         self.rpc = RpcServer(self, config.rpc_host, config.rpc_port)
@@ -117,10 +145,86 @@ class ThetacryptNode:
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:
+        self._recover()
         await self.network.start()
         await self.rpc.start()
         if self._metrics_http is not None:
             await self._metrics_http.start()
+
+    def _recover(self) -> None:
+        """Crash recovery from ``data_dir`` (no-op for memory-only nodes).
+
+        Three steps, in order: (1) finalized results come back from the
+        durable cache so duplicate requests are answered without re-running
+        the protocol; (2) the journal is replayed — any instance submitted
+        but never finalized/aborted was in flight when the process died and
+        is marked aborted with reason ``crash_recovery``; (3) the journal
+        is compacted away (its history is now folded into the restored
+        records, and replaying it twice would be wrong).
+        """
+        if self._journal is None:
+            return
+        restored_results = 0
+        if self._results is not None:
+            for instance_id, scheme, result in self._results.items():
+                self.instances.restore_finished(instance_id, scheme, result)
+                restored_results += 1
+        submitted: dict[str, str] = {}
+        terminal: set[str] = set()
+        for event in self._journal.replay():
+            kind = event.get("event")
+            instance_id = event.get("id", "")
+            if kind == "submitted":
+                submitted[instance_id] = event.get("scheme", "unknown")
+            elif kind in ("finalized", "aborted"):
+                terminal.add(instance_id)
+        in_flight = [
+            (instance_id, scheme)
+            for instance_id, scheme in submitted.items()
+            if instance_id not in terminal
+            and self._results is not None
+            and instance_id not in self._results
+        ]
+        for instance_id, scheme in in_flight:
+            self.instances.restore_aborted(instance_id, scheme, "crash_recovery")
+        self._journal.reset()
+        self._recovery = {
+            "keys": len(self.keys),
+            "results": restored_results,
+            "aborted": len(in_flight),
+        }
+        if self._storage_metrics is not None:
+            self._storage_metrics.recoveries.inc()
+            self._storage_metrics.recovered_keys.set(len(self.keys))
+            self._storage_metrics.recovered_instances.labels("finalized").inc(
+                restored_results
+            )
+            self._storage_metrics.recovered_instances.labels("aborted").inc(
+                len(in_flight)
+            )
+        if restored_results or in_flight:
+            logger.info(
+                "node %d recovered: %d keys, %d cached results, "
+                "%d in-flight instances aborted (crash_recovery)",
+                self.config.node_id,
+                len(self.keys),
+                restored_results,
+                len(in_flight),
+            )
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait (bounded) for in-flight instances to terminate.
+
+        Graceful-shutdown hook: returns True when the node went idle
+        within ``timeout`` seconds (default ``config.drain_timeout``),
+        False if instances were still pending when the budget ran out.
+        """
+        budget = timeout if timeout is not None else self.config.drain_timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        while self.instances.active_count > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        return self.instances.active_count == 0
 
     async def stop(self) -> None:
         if self._metrics_http is not None:
@@ -128,6 +232,12 @@ class ThetacryptNode:
         await self.rpc.stop()
         await self.instances.shutdown()
         await self.network.stop()
+        # Flush + close durable state last: executor completions above may
+        # still append terminal journal records.
+        if self._journal is not None:
+            self._journal.close()
+        if self._results is not None:
+            self._results.close()
 
     @property
     def rpc_address(self) -> tuple[str, int]:
@@ -149,7 +259,24 @@ class ThetacryptNode:
     def install_key(
         self, key_id: str, scheme: str, public_key, key_share
     ) -> None:
-        """Register dealer output for this node (done before start)."""
+        """Register dealer output for this node (done before start).
+
+        Idempotent for *identical* material: a durable node restarting
+        from its ``data_dir`` already holds the shares its keystore file
+        describes, so re-installing the same dealer output is a no-op —
+        but installing *different* material under a held id stays an
+        error (silently replacing a key share would be a custody bug).
+        """
+        if key_id in self.keys:
+            existing = self.keys.get(key_id)
+            same = existing.scheme == scheme and export_key_share(
+                scheme, existing.key_share
+            ) == export_key_share(scheme, key_share)
+            if same:
+                return
+            raise KeyManagementError(
+                f"key id {key_id!r} already installed with different material"
+            )
         self.keys.register(key_id, scheme, public_key, key_share)
 
     # -- protocol API ----------------------------------------------------------
@@ -384,8 +511,11 @@ class ThetacryptNode:
             "keys": len(self.keys),
             # Structured failure taxonomy (docs/robustness.md): how many
             # instances aborted per reason (timeout / insufficient_shares /
-            # byzantine_detected / ...).
+            # byzantine_detected / crash_recovery / ...).
             "aborts": aborts,
+            # What the last start() recovered from data_dir (empty for
+            # memory-only nodes and for clean first boots).
+            "recovery": dict(self._recovery),
             "latency": dict(summarize(self.registry.get("repro_instance_seconds"))),
             "crypto_cache": crypto_cache_snapshot(),
         }

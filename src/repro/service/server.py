@@ -130,6 +130,11 @@ class RpcServer:
                 reason = getattr(exc, "reason", None)
                 if reason is not None:
                     response["error_reason"] = reason
+                # Overload shedding: the server's backoff hint (seconds)
+                # rides with the error so clients can pace their retries.
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    response["retry_after"] = retry_after
             except Exception as exc:  # noqa: BLE001 - report malformed requests
                 logger.exception("rpc failure")
                 outcome = "internal"

@@ -67,6 +67,7 @@ class _St:
     __slots__ = (
         "started",
         "finished",
+        "aborted",
         "combining",
         "valid",
         "buffered",
@@ -82,6 +83,7 @@ class _St:
     def __init__(self) -> None:
         self.started = False
         self.finished = False
+        self.aborted = False
         self.combining = False
         self.valid = 0
         self.buffered = 0
@@ -172,6 +174,32 @@ class SimulatedThetaNetwork:
         def count_fault(kind: str) -> None:
             fault_counts[kind] = fault_counts.get(kind, 0) + 1
 
+        def lost_to_crash(i: int, r: int) -> bool:
+            """Crash-*recovery* semantics: a node that crashed while this
+            request was in flight lost its volatile protocol state, so after
+            recovery the instance is aborted — not silently resumed with its
+            pre-crash share counters intact.  Mirrors the asyncio node, which
+            journals such instances and restores them as ``crash_recovery``
+            aborts on restart."""
+            if plan is None:
+                return False
+            st = states[i][r]
+            if st.aborted:
+                return True
+            if st.finished:
+                return False
+            sample = samples[i][r]
+            if sample is None:
+                return False
+            since = sample.received_at
+            now = sim.now
+            for crash in plan.crashes:
+                if crash.node == i + 1 and since < crash.at <= now:
+                    st.aborted = True
+                    count_fault("crash_recovery")
+                    return True
+            return False
+
         def deliver(src: int, dst: int, delay_extra: float, fn, corrupted=None) -> None:
             if dst in crashed:
                 return
@@ -226,6 +254,8 @@ class SimulatedThetaNetwork:
                 sim.schedule(delay + delay_extra + extra, arrive)
 
         def record_finish(i: int, r: int) -> None:
+            if lost_to_crash(i, r):
+                return  # crashed during the combine: the result died with it
             st = states[i][r]
             st.finished = True
             sample = samples[i][r]
@@ -243,6 +273,7 @@ class SimulatedThetaNetwork:
                 and not st.finished
                 and not st.combining
                 and st.valid >= quorum
+                and not lost_to_crash(i, r)
             ):
                 st.combining = True
                 cpus[i].submit(
@@ -338,6 +369,8 @@ class SimulatedThetaNetwork:
 
         def maybe_round2(i: int, r: int) -> None:
             st = states[i][r]
+            if lost_to_crash(i, r):
+                return
             if st.started and not st.round2_queued and st.commits == n:
                 st.round2_queued = True
                 cpus[i].submit(
@@ -352,6 +385,7 @@ class SimulatedThetaNetwork:
                 and not st.finished
                 and not st.combining
                 and st.zshares == n
+                and not lost_to_crash(i, r)
             ):
                 st.combining = True
                 cpus[i].submit(

@@ -1,0 +1,35 @@
+"""Durable node state: atomic snapshots, write-ahead journal, keystore,
+and the idempotent-result cache (docs/robustness.md, "Durability &
+recovery").
+
+Everything under ``NodeConfig.data_dir`` flows through this package::
+
+    data_dir/
+      keystore.bin   # CRC-checked snapshot of this node's key shares
+      journal/       # segmented WAL of instance lifecycle events
+      results/       # segmented WAL backing the idempotent-result cache
+"""
+
+from .atomic import (
+    atomic_write_bytes,
+    fsync_directory,
+    pack_record,
+    read_versioned,
+    unpack_record,
+    write_versioned,
+)
+from .durable_keystore import DurableKeystore
+from .results import DurableResultCache
+from .wal import WriteAheadLog
+
+__all__ = [
+    "DurableKeystore",
+    "DurableResultCache",
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "fsync_directory",
+    "pack_record",
+    "read_versioned",
+    "unpack_record",
+    "write_versioned",
+]

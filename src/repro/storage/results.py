@@ -1,0 +1,84 @@
+"""Durable idempotent-result cache.
+
+Thetacrypt derives instance ids deterministically from request content
+(:func:`repro.service.node.derive_instance_id`), which makes every protocol
+request naturally idempotent — *within* one process lifetime.  This cache
+extends that guarantee across restarts: finalized results are appended to a
+write-ahead log keyed by instance id, and a duplicate request arriving
+after a crash is answered from the cache instead of re-running (and
+possibly re-failing) the threshold protocol.
+
+The log is compacted on load once the replayed history grows past twice
+``max_entries``: the surviving newest entries are rewritten into a fresh
+segment so disk usage and replay cost stay bounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+
+from ..serialization import hexlify, unhexlify
+from .wal import WriteAheadLog
+
+
+class DurableResultCache:
+    """Append-only ``instance_id -> (scheme, result)`` store."""
+
+    def __init__(self, directory: Path | str, max_entries: int = 4096):
+        self._max_entries = max_entries
+        self._wal = WriteAheadLog(directory)
+        self._entries: OrderedDict[str, tuple[str, bytes]] = OrderedDict()
+        replayed = 0
+        for record in self._wal.replay():
+            replayed += 1
+            instance_id = record.get("id")
+            if not instance_id:
+                continue
+            self._entries[instance_id] = (
+                record.get("scheme", ""),
+                unhexlify(record.get("result", "")),
+            )
+            self._entries.move_to_end(instance_id)
+        self._trim()
+        if replayed > 2 * max_entries:
+            self._compact()
+
+    def put(self, instance_id: str, scheme: str, result: bytes) -> None:
+        """Persist one finalized result (fsynced before returning)."""
+        self._wal.append(
+            {"id": instance_id, "scheme": scheme, "result": hexlify(result)}
+        )
+        self._entries[instance_id] = (scheme, result)
+        self._entries.move_to_end(instance_id)
+        self._trim()
+
+    def get(self, instance_id: str) -> tuple[str, bytes] | None:
+        return self._entries.get(instance_id)
+
+    def items(self) -> list[tuple[str, str, bytes]]:
+        """``(instance_id, scheme, result)`` in insertion (oldest-first) order."""
+        return [
+            (instance_id, scheme, result)
+            for instance_id, (scheme, result) in self._entries.items()
+        ]
+
+    def _trim(self) -> None:
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def _compact(self) -> None:
+        self._wal.reset()
+        for instance_id, (scheme, result) in self._entries.items():
+            self._wal.append(
+                {"id": instance_id, "scheme": scheme, "result": hexlify(result)}
+            )
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        self._wal.close()

@@ -15,6 +15,7 @@ from .instruments import (
     ChannelMetrics,
     CoreMetrics,
     RpcMetrics,
+    StorageMetrics,
     crypto_cache_snapshot,
     register_crypto_cache_collector,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "MetricsHttpServer",
     "RpcMetrics",
     "Sample",
+    "StorageMetrics",
     "SpanRecord",
     "TelemetryError",
     "TraceContext",

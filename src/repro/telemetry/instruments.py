@@ -155,6 +155,36 @@ class CoreMetrics:
             "for instances that stalled short of the timeout.",
             ("scheme",),
         )
+        self.rejected = registry.counter(
+            "repro_instance_rejected_total",
+            "Submissions rejected before an executor was created, by "
+            "structured reason (overloaded = pending-instance backlog full).",
+            ("reason",),
+        )
+
+
+class StorageMetrics:
+    """Durability/recovery instruments (held by :class:`ThetacryptNode`
+    when ``NodeConfig.data_dir`` is set; see docs/robustness.md)."""
+
+    def __init__(self, registry: MetricRegistry):
+        self.recoveries = registry.counter(
+            "repro_recovery_runs_total",
+            "Recovery passes executed at node start (one per boot of a "
+            "node with a data_dir).",
+        )
+        self.recovered_keys = registry.gauge(
+            "repro_recovery_keys",
+            "Key shares reloaded from the durable keystore during the most "
+            "recent recovery pass.",
+        )
+        self.recovered_instances = registry.counter(
+            "repro_recovery_instances_total",
+            "Instances restored during recovery, by outcome: finalized "
+            "(served from the durable result cache) or aborted (in-flight "
+            "at crash time, marked crash_recovery).",
+            ("outcome",),
+        )
 
 
 def crypto_cache_snapshot() -> dict:

@@ -16,6 +16,7 @@ it only appears under the lossless fault kinds (delay/duplicate/reorder).
 """
 
 import asyncio
+from dataclasses import replace
 
 import pytest
 
@@ -183,5 +184,127 @@ class TestStructuredAborts:
                 assert nodes[0].stats()["aborts"].get("byzantine_detected", 0) >= 1
             finally:
                 await _teardown(nodes, client)
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestCrashRecoveryRestart:
+    """Crash recovery through the *real* path: the crashed node is torn
+    down and a fresh ThetacryptNode boots over the same ``data_dir`` —
+    not merely a delivery pause, which would leave volatile state
+    implausibly intact."""
+
+    def test_restart_recovers_state_and_aborts_in_flight(self, all_keys, tmp_path):
+        async def scenario():
+            configs = [
+                replace(c, data_dir=str(tmp_path / f"node{c.node_id}"))
+                for c in make_local_configs(
+                    4, 1, transport="local", rpc_base_port=0
+                )
+            ]
+            hub = LocalHub(latency=lambda a, b: 0.001)
+            nodes = []
+            for config in configs:
+                node = ThetacryptNode(
+                    config, transport=hub.endpoint(config.node_id)
+                )
+                for key_id, km in all_keys.items():
+                    node.install_key(
+                        key_id,
+                        km.scheme,
+                        km.public_key,
+                        km.share_for(config.node_id),
+                    )
+                await node.start()
+                nodes.append(node)
+            client = ThetacryptClient(
+                {n.config.node_id: n.rpc_address for n in nodes}
+            )
+            restarted = None
+            try:
+                # One fully finalized operation: its result must land in
+                # node 4's durable cache.
+                data = b"finalized before the crash"
+                signature = await client.sign("bls04", data)
+                done_id = derive_instance_id("sign", "bls04", data, b"")
+                for _ in range(200):
+                    record = nodes[3].instances._records.get(done_id)
+                    if record is not None and record.status.value == "finished":
+                        break
+                    await asyncio.sleep(0.01)
+                assert nodes[3].instances.record(done_id).status.value == "finished"
+
+                # One instance in flight on node 4 only: peers never saw
+                # the request, so it cannot reach quorum and is still
+                # pending when the node dies.
+                pending = b"in flight at the crash"
+                pending_id = derive_instance_id("sign", "bls04", pending, b"")
+                submit = asyncio.ensure_future(
+                    client.call(
+                        4, "sign", {"key_id": "bls04", "data": hexlify(pending)}
+                    )
+                )
+                for _ in range(200):
+                    if pending_id in nodes[3].instances._records:
+                        break
+                    await asyncio.sleep(0.01)
+                assert nodes[3].instances.record(pending_id).status.value in (
+                    "created",
+                    "running",
+                )
+
+                # "kill -9": abrupt teardown — executors cancelled, no
+                # terminal journal record for the pending instance.
+                await nodes[3].stop()
+                submit.cancel()
+                await asyncio.gather(submit, return_exceptions=True)
+
+                # Fresh process life over the same data_dir and hub slot.
+                restarted = ThetacryptNode(configs[3], transport=hub.endpoint(4))
+                # The dealer re-installs identical material: must be a no-op.
+                for key_id, km in all_keys.items():
+                    restarted.install_key(
+                        key_id, km.scheme, km.public_key, km.share_for(4)
+                    )
+                await restarted.start()
+                nodes[3] = restarted
+
+                # Keys came back from the durable keystore.
+                assert len(restarted.keys) == len(all_keys)
+                stats = restarted.stats()
+                assert stats["recovery"]["keys"] == len(all_keys)
+                assert stats["recovery"]["results"] >= 1
+                assert stats["recovery"]["aborted"] >= 1
+                assert stats["aborts"].get("crash_recovery", 0) >= 1
+
+                # Reconnect (the restarted node has a fresh RPC port).
+                await client.close()
+                client2 = ThetacryptClient(
+                    {n.config.node_id: n.rpc_address for n in nodes}
+                )
+                try:
+                    # A duplicate of the finalized request is served from
+                    # the durable cache, without re-running the protocol.
+                    result = await client2.call(
+                        4, "sign", {"key_id": "bls04", "data": hexlify(data)}
+                    )
+                    assert result["result"] == hexlify(signature)
+
+                    # The in-flight instance is aborted with the structured
+                    # crash_recovery reason, visible over the status RPC.
+                    status = await client2.status(pending_id, node_id=4)
+                    assert status["status"] == "failed"
+                    assert status["abort_reason"] == "crash_recovery"
+
+                    # The recovered node participates in new protocol runs.
+                    after = b"signed after recovery"
+                    sig2 = await client2.sign("bls04", after)
+                    assert await client2.verify_signature("bls04", after, sig2)
+                finally:
+                    await client2.close()
+            finally:
+                for node in nodes:
+                    await node.stop()
 
         asyncio.run(scenario())

@@ -1,0 +1,362 @@
+"""Durability subsystem tests: atomic snapshots, WAL crash semantics,
+keystore/result persistence across simulated ``kill -9``, overload
+shedding, and client-side retry.
+
+The WAL cases pin down the crash-safety contract of docs/robustness.md:
+a torn *final* record (crash mid-append) is tolerated and truncated away,
+while a CRC-failing record anywhere — or a truncated segment with later
+segments after it — is corruption and must raise, never be skipped.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import (
+    KeyManagementError,
+    RpcError,
+    StorageError,
+    WalCorruptionError,
+)
+from repro.schemes.keystore import export_key_share
+from repro.serialization import hexlify
+from repro.storage import (
+    DurableKeystore,
+    DurableResultCache,
+    WriteAheadLog,
+    atomic_write_bytes,
+    pack_record,
+    read_versioned,
+    unpack_record,
+    write_versioned,
+)
+
+
+class TestAtomicContainer:
+    def test_pack_unpack_round_trip(self):
+        version, payload = unpack_record(pack_record(b"hello", version=7))
+        assert (version, payload) == (7, b"hello")
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(pack_record(b"hello"))
+        data[:4] = b"XXXX"
+        with pytest.raises(StorageError, match="bad magic"):
+            unpack_record(bytes(data))
+
+    def test_truncated_container_rejected(self):
+        data = pack_record(b"hello world")
+        with pytest.raises(StorageError, match="truncated"):
+            unpack_record(data[:-3])
+        with pytest.raises(StorageError, match="truncated"):
+            unpack_record(data[:6])
+
+    def test_crc_mismatch_rejected(self):
+        data = bytearray(pack_record(b"hello world"))
+        data[-1] ^= 0xFF  # flip one payload byte
+        with pytest.raises(StorageError, match="CRC32"):
+            unpack_record(bytes(data))
+
+    def test_versioned_file_round_trip(self, tmp_path):
+        path = tmp_path / "snap.bin"
+        write_versioned(path, b"state", version=3)
+        assert read_versioned(path) == (3, b"state")
+        with pytest.raises(StorageError, match="version"):
+            read_versioned(path, expected_version=4)
+
+    def test_atomic_write_replaces_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "file.bin"
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert path.read_bytes() == b"two"
+        assert [p.name for p in tmp_path.iterdir()] == ["file.bin"]
+
+
+class TestWriteAheadLog:
+    def test_empty_journal_replays_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert list(wal.replay()) == []
+        wal.close()
+
+    def test_append_replay_round_trip_across_reopen(self, tmp_path):
+        records = [{"event": "submitted", "n": i} for i in range(20)]
+        wal = WriteAheadLog(tmp_path / "wal")
+        for record in records:
+            wal.append(record)
+        assert list(wal.replay()) == records
+        wal.close()
+        # A fresh handle over the same directory sees the same history.
+        assert list(WriteAheadLog(tmp_path / "wal").replay()) == records
+
+    def test_segments_roll_and_replay_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=64)
+        records = [{"n": i, "pad": "x" * 20} for i in range(12)]
+        for record in records:
+            wal.append(record)
+        assert len(wal.segments()) > 1
+        assert list(wal.replay()) == records
+        wal.close()
+
+    def test_torn_final_record_tolerated_and_repaired(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        records = [{"n": i} for i in range(5)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        # Crash mid-append: the tail of the last segment is cut short.
+        segment = wal.segments()[-1]
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-4])
+        # Replay stops silently at the tear ...
+        assert list(WriteAheadLog(tmp_path / "wal").replay()) == records[:-1]
+        # ... and the next append first truncates the torn tail away.
+        wal2 = WriteAheadLog(tmp_path / "wal")
+        wal2.append({"n": 99})
+        assert list(wal2.replay()) == records[:-1] + [{"n": 99}]
+        wal2.close()
+
+    def test_partial_header_at_tail_is_torn(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"n": 0})
+        wal.close()
+        segment = wal.segments()[-1]
+        segment.write_bytes(segment.read_bytes() + b"\x00\x00\x01")
+        assert list(WriteAheadLog(tmp_path / "wal").replay()) == [{"n": 0}]
+
+    def test_corrupt_crc_mid_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(5):
+            wal.append({"n": i})
+        wal.close()
+        segment = wal.segments()[-1]
+        data = bytearray(segment.read_bytes())
+        data[10] ^= 0xFF  # damage the first record's payload, CRC intact
+        segment.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="corrupt record"):
+            list(WriteAheadLog(tmp_path / "wal").replay())
+
+    def test_torn_non_final_segment_is_corruption(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=64)
+        for i in range(12):
+            wal.append({"n": i, "pad": "x" * 20})
+        wal.close()
+        segments = wal.segments()
+        assert len(segments) > 1
+        first = segments[0]
+        first.write_bytes(first.read_bytes()[:-4])
+        with pytest.raises(WalCorruptionError, match="later segments"):
+            list(WriteAheadLog(tmp_path / "wal").replay())
+
+    def test_reset_drops_history(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"n": 1})
+        wal.reset()
+        assert list(wal.replay()) == []
+        wal.append({"n": 2})
+        assert list(wal.replay()) == [{"n": 2}]
+        wal.close()
+
+
+class TestDurableKeystore:
+    def test_round_trip_across_simulated_kill(self, tmp_path, keys_bls04):
+        path = tmp_path / "keystore.bin"
+        store = DurableKeystore(path)
+        share = keys_bls04.share_for(2)
+        store.put("bls04", "bls04", share)
+        assert "bls04" in store and len(store) == 1
+        # kill -9: no close/flush call — a fresh instance over the same
+        # path must see the complete snapshot (every put is atomic).
+        revived = DurableKeystore(path)
+        items = revived.items()
+        assert len(items) == 1
+        key_id, scheme, loaded = items[0]
+        assert (key_id, scheme) == ("bls04", "bls04")
+        assert export_key_share("bls04", loaded) == export_key_share(
+            "bls04", share
+        )
+
+    def test_remove_persists(self, tmp_path, keys_bls04):
+        path = tmp_path / "keystore.bin"
+        store = DurableKeystore(path)
+        store.put("a", "bls04", keys_bls04.share_for(1))
+        store.put("b", "bls04", keys_bls04.share_for(1))
+        store.remove("a")
+        assert [key_id for key_id, _, _ in DurableKeystore(path).items()] == ["b"]
+        with pytest.raises(KeyManagementError):
+            store.remove("a")
+
+    def test_corrupt_snapshot_rejected(self, tmp_path, keys_bls04):
+        path = tmp_path / "keystore.bin"
+        store = DurableKeystore(path)
+        store.put("bls04", "bls04", keys_bls04.share_for(1))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            DurableKeystore(path)
+
+
+class TestDurableResultCache:
+    def test_persistence_across_reopen(self, tmp_path):
+        cache = DurableResultCache(tmp_path / "results")
+        cache.put("sign-aa", "bls04", b"\x01\x02")
+        cache.put("coin-bb", "cks05", b"\x03")
+        revived = DurableResultCache(tmp_path / "results")
+        assert revived.get("sign-aa") == ("bls04", b"\x01\x02")
+        assert revived.get("coin-bb") == ("cks05", b"\x03")
+        assert "sign-aa" in revived and len(revived) == 2
+        cache.close()
+        revived.close()
+
+    def test_trim_keeps_newest(self, tmp_path):
+        cache = DurableResultCache(tmp_path / "results", max_entries=3)
+        for i in range(6):
+            cache.put(f"id-{i}", "bls04", bytes([i]))
+        assert len(cache) == 3
+        assert cache.get("id-2") is None
+        assert cache.get("id-5") == ("bls04", bytes([5]))
+        cache.close()
+
+    def test_compaction_bounds_the_log(self, tmp_path):
+        directory = tmp_path / "results"
+        cache = DurableResultCache(directory, max_entries=4)
+        for i in range(12):  # 12 appended records, 4 live entries
+            cache.put(f"id-{i}", "bls04", bytes([i]))
+        cache.close()
+        # Reopening sees 12 > 2 * 4 replayed records and compacts.
+        revived = DurableResultCache(directory, max_entries=4)
+        assert len(revived) == 4
+        assert revived.get("id-11") == ("bls04", bytes([11]))
+        revived.close()
+        assert len(list(WriteAheadLog(directory).replay())) == 4
+
+
+@pytest.mark.integration
+class TestOverloadShedding:
+    def test_excess_submissions_rejected_with_hint(self, all_keys):
+        from dataclasses import replace
+
+        from repro.network.local import LocalHub
+        from repro.service.config import make_local_configs
+        from repro.service.node import ThetacryptNode
+
+        async def scenario():
+            # A lone node (its peers never start): every submission stays
+            # pending, so the third one must be shed.
+            config = replace(
+                make_local_configs(4, 1, transport="local", rpc_base_port=0)[0],
+                max_pending_instances=2,
+                overload_retry_after=0.125,
+                instance_timeout=30.0,
+            )
+            hub = LocalHub()
+            node = ThetacryptNode(config, transport=hub.endpoint(1))
+            km = all_keys["bls04"]
+            node.install_key("bls04", km.scheme, km.public_key, km.share_for(1))
+            await node.start()
+            try:
+                node.submit_request("sign", "bls04", b"pending-1")
+                node.submit_request("sign", "bls04", b"pending-2")
+                with pytest.raises(RpcError) as err:
+                    node.submit_request("sign", "bls04", b"one too many")
+                assert err.value.reason == "overloaded"
+                assert err.value.retry_after == 0.125
+                rejected = node.registry.get("repro_instance_rejected_total")
+                assert rejected.labels("overloaded").value == 1
+                # Duplicate of an *admitted* request is not shed: it maps
+                # onto the existing instance.
+                node.submit_request("sign", "bls04", b"pending-1")
+                assert rejected.labels("overloaded").value == 1
+            finally:
+                await node.stop()
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestClientRetry:
+    def test_retries_after_overloaded_then_succeeds(self):
+        from repro.service.client import ThetacryptClient
+
+        async def scenario():
+            calls = {"count": 0}
+
+            async def on_client(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        writer.close()
+                        return
+                    request = json.loads(line)
+                    calls["count"] += 1
+                    if calls["count"] == 1:
+                        response = {
+                            "id": request["id"],
+                            "error": "node overloaded",
+                            "error_reason": "overloaded",
+                            "retry_after": 0.01,
+                        }
+                    else:
+                        response = {
+                            "id": request["id"],
+                            "result": {"result": hexlify(b"ok")},
+                        }
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+
+            server = await asyncio.start_server(on_client, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ThetacryptClient(
+                {1: ("127.0.0.1", port)}, retry_base=0.005, retry_cap=0.02
+            )
+            try:
+                result = await client.call(1, "sign", {"key_id": "k", "data": ""})
+                assert result == {"result": hexlify(b"ok")}
+                assert calls["count"] == 2
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_non_idempotent_methods_never_retried(self):
+        from repro.service.client import ThetacryptClient
+
+        async def scenario():
+            calls = {"count": 0}
+
+            async def on_client(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        writer.close()
+                        return
+                    request = json.loads(line)
+                    calls["count"] += 1
+                    writer.write(
+                        json.dumps(
+                            {
+                                "id": request["id"],
+                                "error": "node overloaded",
+                                "error_reason": "overloaded",
+                                "retry_after": 0.01,
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+
+            server = await asyncio.start_server(on_client, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ThetacryptClient({1: ("127.0.0.1", port)})
+            try:
+                with pytest.raises(RpcError):
+                    await client.call(1, "run_dkg", {"key_id": "k"})
+                assert calls["count"] == 1
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())

@@ -41,6 +41,13 @@ def main() -> None:
     parser.add_argument("--rpc-base-port", type=int, default=18000)
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--out", default="deployment")
+    parser.add_argument(
+        "--data-dir",
+        action="store_true",
+        help="give every node a durable data_dir (out/node<i>/data) so it "
+        "persists keys/results and runs crash recovery on restart "
+        "(docs/robustness.md)",
+    )
     args = parser.parse_args()
 
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
@@ -59,6 +66,13 @@ def main() -> None:
     )
 
     out = pathlib.Path(args.out)
+    if args.data_dir:
+        from dataclasses import replace
+
+        configs = [
+            replace(c, data_dir=str(out / f"node{c.node_id}" / "data"))
+            for c in configs
+        ]
     for config in configs:
         node_dir = out / f"node{config.node_id}"
         node_dir.mkdir(parents=True, exist_ok=True)
