@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast check metrics-smoke chaos-smoke recovery-smoke examples fixtures clean
+.PHONY: install test test-fast bench bench-fast bench-smoke check metrics-smoke chaos-smoke recovery-smoke offload-smoke examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -44,6 +44,19 @@ chaos-smoke:
 # the structured crash_recovery reason (docs/robustness.md).
 recovery-smoke:
 	PYTHONPATH=src $(PYTHON) tools/recovery_smoke.py
+
+# Offload gate: a 4-node daemon cluster with --crypto-workers 2 must run
+# SG02 decryption and BLS04 signing through the worker pools (visible in
+# node_stats and the Prometheus scrape) and leave no orphaned worker
+# processes after SIGTERM (docs/performance.md).
+offload-smoke:
+	PYTHONPATH=src $(PYTHON) tools/offload_smoke.py
+
+# Workers-on/off ablation on the real asyncio service, persisted
+# machine-readably to BENCH_offload.json (docs/performance.md).  Set
+# REPRO_FAST=1 for a 4-node shape on small runners.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) tools/bench_smoke.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

@@ -28,6 +28,7 @@ from ...errors import (
     SerializationError,
 )
 from ...telemetry import CoreMetrics, adopt_trace
+from ...workers.pool import CryptoPool, CryptoPoolUnavailable
 from ..messages import ProtocolMessage
 from ..tri import ThresholdRoundProtocol
 from .instance import InstanceRecord
@@ -52,12 +53,14 @@ class ProtocolExecutor:
         send: SendFn,
         timeout: float | None = None,
         metrics: CoreMetrics | None = None,
+        crypto_pool: CryptoPool | None = None,
     ):
         self.protocol = protocol
         self.record = record
         self._send = send
         self._timeout = timeout
         self._metrics = metrics
+        self._pool = crypto_pool
         self.inbox: asyncio.Queue[ProtocolMessage] = asyncio.Queue()
         # Inherit the RPC handler's trace when one is active (the request
         # entered at this node); otherwise the instance gets its own trace
@@ -202,38 +205,26 @@ class ProtocolExecutor:
 
     async def _run_inner(self) -> None:
         self._round_started = time.perf_counter()
-        await self._send_round(self.protocol.do_round())
+        await self._send_round(await self._compute_round())
         while True:
             if self.protocol.is_ready_to_finalize():
                 self._close_round()
                 self._finish(self.protocol.finalize())
                 return
             message = await self.inbox.get()
-            try:
-                self.protocol.update(message)
-            except ProtocolAbortedError:
-                raise
-            except DuplicateShareError:
-                # Benign: transport-level duplicates and watchdog
-                # re-broadcasts echo shares we already hold.  Not evidence
-                # of byzantine behaviour.
-                self.duplicates += 1
-                self._note_message(message, "duplicate")
-                continue
-            except (CryptoError, SerializationError) as exc:
-                # A bad share from a faulty party: drop it and keep waiting;
-                # robust schemes terminate as long as t+1 honest shares arrive.
-                logger.warning(
-                    "instance %s: rejected message from party %d: %s",
-                    self.protocol.instance_id,
-                    message.sender,
-                    exc,
-                )
-                self.rejected += 1
-                self._note_message(message, "rejected")
-                continue
-            self.accepted += 1
-            self._note_message(message, "accepted")
+            if self._pooled_admission():
+                # Batched share admission: drain whatever else has queued
+                # up behind this message and verify the whole batch as one
+                # worker task instead of one pairing check at a time.
+                batch = [message]
+                while True:
+                    try:
+                        batch.append(self.inbox.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                await self._admit_batch(batch)
+            else:
+                self._admit_inline(message)
             if self.protocol.is_ready_to_finalize():
                 self._close_round()
                 self._finish(self.protocol.finalize())
@@ -242,7 +233,111 @@ class ProtocolExecutor:
                 self._close_round()
                 self.protocol.advance_round()
                 self._round_started = time.perf_counter()
-                await self._send_round(self.protocol.do_round())
+                await self._send_round(await self._compute_round())
+
+    def _pooled_admission(self) -> bool:
+        return (
+            self._pool is not None
+            and self._pool.enabled
+            and self.protocol.supports_offload
+        )
+
+    async def _compute_round(self) -> list[ProtocolMessage]:
+        """do_round, via the crypto pool when the protocol can offload."""
+        if self._pool is not None and self._pool.enabled:
+            task = self.protocol.offload_round()
+            if task is not None:
+                op, fn, args = task
+                try:
+                    result = await self._pool.run(op, fn, *args)
+                except CryptoPoolUnavailable:
+                    pass  # degrade to inline; the pool counted the fallback
+                else:
+                    return self.protocol.apply_round(result)
+        return self.protocol.do_round()
+
+    def _admit_inline(self, message: ProtocolMessage) -> None:
+        """Feed one message to update(), classifying the outcome."""
+        try:
+            self.protocol.update(message)
+        except ProtocolAbortedError:
+            raise
+        except DuplicateShareError:
+            # Benign: transport-level duplicates and watchdog
+            # re-broadcasts echo shares we already hold.  Not evidence
+            # of byzantine behaviour.
+            self.duplicates += 1
+            self._note_message(message, "duplicate")
+        except (CryptoError, SerializationError) as exc:
+            # A bad share from a faulty party: drop it and keep waiting;
+            # robust schemes terminate as long as t+1 honest shares arrive.
+            logger.warning(
+                "instance %s: rejected message from party %d: %s",
+                self.protocol.instance_id,
+                message.sender,
+                exc,
+            )
+            self.rejected += 1
+            self._note_message(message, "rejected")
+        else:
+            self.accepted += 1
+            self._note_message(message, "accepted")
+
+    async def _admit_batch(self, batch: list[ProtocolMessage]) -> None:
+        """Admit a drained inbox batch through one pooled verification.
+
+        Own-broadcast echoes never need verification (update() no-ops on
+        them); peer payloads are batch-verified in a single worker task
+        and admitted per the worker's per-index verdicts.  Any pool
+        failure degrades the whole batch to the inline path.
+        """
+        own = [m for m in batch if m.sender == self.protocol.party_id]
+        peers = [m for m in batch if m.sender != self.protocol.party_id]
+        verdicts: list | None = None
+        if peers:
+            task = self.protocol.offload_verify([m.payload for m in peers])
+            if task is not None:
+                op, fn, args = task
+                try:
+                    verdicts = await self._pool.run(op, fn, *args)
+                except CryptoPoolUnavailable:
+                    verdicts = None
+        if peers and (verdicts is None or len(verdicts) != len(peers)):
+            for message in batch:
+                self._admit_inline(message)
+            return
+        for message in own:
+            self._admit_inline(message)
+        for message, verdict in zip(peers, verdicts or []):
+            if verdict is not None:
+                logger.warning(
+                    "instance %s: rejected message from party %d: %s",
+                    self.protocol.instance_id,
+                    message.sender,
+                    verdict,
+                )
+                self.rejected += 1
+                self._note_message(message, "rejected")
+                continue
+            try:
+                self.protocol.admit_verified(message.payload)
+            except ProtocolAbortedError:
+                raise
+            except DuplicateShareError:
+                self.duplicates += 1
+                self._note_message(message, "duplicate")
+            except (CryptoError, SerializationError) as exc:
+                logger.warning(
+                    "instance %s: rejected message from party %d: %s",
+                    self.protocol.instance_id,
+                    message.sender,
+                    exc,
+                )
+                self.rejected += 1
+                self._note_message(message, "rejected")
+            else:
+                self.accepted += 1
+                self._note_message(message, "accepted")
 
     def _note_message(self, message: ProtocolMessage, outcome: str) -> None:
         """One received share: a hop event on the trace plus a counter."""

@@ -54,10 +54,14 @@ class InstanceManager:
         results=None,
         max_pending: int | None = None,
         overload_retry_after: float = 0.25,
+        crypto_pool=None,
     ):
         self.party_id = party_id
         self._send = send
         self._default_timeout = default_timeout
+        # Shared by every executor this manager launches; None keeps all
+        # crypto inline on the event loop (the pre-offload behaviour).
+        self._crypto_pool = crypto_pool
         self.metrics = CoreMetrics(
             registry if registry is not None else default_registry()
         )
@@ -110,6 +114,7 @@ class InstanceManager:
             self._send,
             timeout=timeout if timeout is not None else self._default_timeout,
             metrics=self.metrics,
+            crypto_pool=self._crypto_pool,
         )
         self._records[instance_id] = record
         self._executors[instance_id] = executor

@@ -53,6 +53,60 @@ class NonInteractiveProtocol(ThresholdRoundProtocol):
             return  # our own broadcast echoed back
         self._operation.accept_share(message.payload)
 
+    # -- worker-pool offload (repro.workers) ---------------------------------
+    #
+    # The one-round protocol is the ideal offload target: its round is a
+    # single share creation and its updates are pure share verifications,
+    # both stateless given the operation spec.  The imports are lazy so
+    # that core.protocols never needs repro.workers unless a pool exists.
+
+    @property
+    def supports_offload(self) -> bool:
+        return self._operation.offload_spec() is not None
+
+    def offload_round(self):
+        if self._started:
+            return None
+        spec = self._operation.offload_spec(include_share=True)
+        if spec is None:
+            return None
+        from ...workers import tasks
+
+        return (f"{spec['scheme']}:create_share", tasks.create_share, (spec,))
+
+    def apply_round(self, payload: bytes) -> list[ProtocolMessage]:
+        if self._started:
+            raise ProtocolError(
+                f"instance {self.instance_id}: non-interactive protocol "
+                "has a single round"
+            )
+        self._started = True
+        self._operation.admit_own(payload)
+        return [
+            ProtocolMessage(
+                instance_id=self.instance_id,
+                sender=self.party_id,
+                round=0,
+                channel=self._channel,
+                payload=payload,
+            )
+        ]
+
+    def offload_verify(self, payloads: list[bytes]):
+        spec = self._operation.offload_spec()
+        if spec is None:
+            return None
+        from ...workers import tasks
+
+        return (
+            f"{spec['scheme']}:verify_shares",
+            tasks.verify_shares,
+            (spec, list(payloads)),
+        )
+
+    def admit_verified(self, payload: bytes) -> None:
+        self._operation.admit_verified(payload)
+
     def is_ready_for_next_round(self) -> bool:
         return False  # single-round protocol
 

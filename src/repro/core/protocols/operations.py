@@ -26,6 +26,7 @@ from ...schemes.base import (
     ThresholdSignature,
     get_scheme,
 )
+from ...schemes.keystore import export_key_share, export_public_key
 
 
 @dataclass(frozen=True)
@@ -54,12 +55,22 @@ class ShareOperation(ABC):
         """Compute this party's partial result, store it, and serialize it."""
 
     @abstractmethod
-    def _deserialize_and_verify(self, payload: bytes) -> object:
-        """Decode a peer's share and verify it (raising CryptoError if bad)."""
+    def _decode(self, payload: bytes) -> object:
+        """Decode a peer's serialized share (no cryptographic checks)."""
+
+    @abstractmethod
+    def _verify_decoded(self, share: object) -> None:
+        """Verify a decoded share (raising CryptoError if bad)."""
 
     @abstractmethod
     def combine(self) -> bytes:
         """Assemble the stored shares into the final serialized result."""
+
+    def _deserialize_and_verify(self, payload: bytes) -> object:
+        """Decode a peer's share and verify it (raising CryptoError if bad)."""
+        share = self._decode(payload)
+        self._verify_decoded(share)
+        return share
 
     def accept_share(self, payload: bytes) -> None:
         """Verify and store a peer's partial result.
@@ -78,6 +89,53 @@ class ShareOperation(ABC):
         if share.id in self._shares:
             raise DuplicateShareError(f"duplicate share from party {share.id}")
         self._shares[share.id] = share
+
+    def admit_verified(self, payload: bytes) -> None:
+        """Store a share whose cryptographic validity a pool worker already
+        established.  Decode errors and duplicates are still policed here —
+        they are local-state questions, not crypto ones — so a worker
+        verdict can never bypass them.
+        """
+        try:
+            share = self._decode(payload)
+        except ThetacryptError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - arbitrary bytes, arbitrary errors
+            raise InvalidShareError(f"malformed share payload: {exc}") from exc
+        if share.id in self._shares:
+            raise DuplicateShareError(f"duplicate share from party {share.id}")
+        self._shares[share.id] = share
+
+    def admit_own(self, payload: bytes) -> None:
+        """Store this party's own share from its worker-serialized payload."""
+        self._store_own(self._decode(payload))
+
+    def offload_spec(self, include_share: bool = False) -> dict | None:
+        """Pickle-safe description for :mod:`repro.workers.tasks`.
+
+        The spec re-creates this operation inside a worker process from
+        primitives alone; ``include_share`` adds the exported key share
+        (needed by ``create_share``, not by ``verify_shares``).  None
+        means the adapter has no worker tasks and must stay inline.
+        """
+        kind_data = self._request_tuple()
+        if kind_data is None:
+            return None
+        kind, data = kind_data
+        scheme_name = self._scheme.name
+        spec = {
+            "scheme": scheme_name,
+            "public": export_public_key(scheme_name, self._public_key),
+            "kind": kind,
+            "data": data,
+        }
+        if include_share:
+            spec["share"] = export_key_share(scheme_name, self._key_share)
+        return spec
+
+    def _request_tuple(self) -> tuple[str, bytes] | None:
+        """(kind, request bytes) for the offload spec; None = no offload."""
+        return None
 
     def _store_own(self, share: object) -> None:
         self._shares[share.id] = share
@@ -112,15 +170,18 @@ class DecryptOperation(ShareOperation):
         self._store_own(share)
         return share.to_bytes()
 
-    def _deserialize_and_verify(self, payload: bytes):
+    def _decode(self, payload: bytes):
         if isinstance(self._scheme, sg02.Sg02Cipher):
-            share = sg02.Sg02DecryptionShare.from_bytes(
+            return sg02.Sg02DecryptionShare.from_bytes(
                 payload, self._public_key.group
             )
-        else:
-            share = bz03.Bz03DecryptionShare.from_bytes(payload)
+        return bz03.Bz03DecryptionShare.from_bytes(payload)
+
+    def _verify_decoded(self, share) -> None:
         self._scheme.verify_decryption_share(self._public_key, self._ciphertext, share)
-        return share
+
+    def _request_tuple(self) -> tuple[str, bytes]:
+        return "decrypt", self._ciphertext.to_bytes()
 
     def combine(self) -> bytes:
         return self._scheme.combine(
@@ -149,13 +210,16 @@ class SignOperation(ShareOperation):
         self._store_own(share)
         return share.to_bytes()
 
-    def _deserialize_and_verify(self, payload: bytes):
+    def _decode(self, payload: bytes):
         if isinstance(self._scheme, sh00.Sh00SignatureScheme):
-            share = sh00.Sh00SignatureShare.from_bytes(payload)
-        else:
-            share = bls04.Bls04SignatureShare.from_bytes(payload)
+            return sh00.Sh00SignatureShare.from_bytes(payload)
+        return bls04.Bls04SignatureShare.from_bytes(payload)
+
+    def _verify_decoded(self, share) -> None:
         self._scheme.verify_signature_share(self._public_key, self._message, share)
-        return share
+
+    def _request_tuple(self) -> tuple[str, bytes]:
+        return "sign", self._message
 
     def combine(self) -> bytes:
         signature = self._scheme.combine(
@@ -179,10 +243,14 @@ class CoinOperation(ShareOperation):
         self._store_own(share)
         return share.to_bytes()
 
-    def _deserialize_and_verify(self, payload: bytes):
-        share = cks05.Cks05CoinShare.from_bytes(payload, self._public_key.group)
+    def _decode(self, payload: bytes):
+        return cks05.Cks05CoinShare.from_bytes(payload, self._public_key.group)
+
+    def _verify_decoded(self, share) -> None:
         self._scheme.verify_coin_share(self._public_key, self._name, share)
-        return share
+
+    def _request_tuple(self) -> tuple[str, bytes]:
+        return "coin", self._name
 
     def combine(self) -> bytes:
         return self._scheme.combine(

@@ -73,6 +73,43 @@ class ThresholdRoundProtocol(ABC):
         """
         return None
 
+    # -- optional worker-pool offload hooks ----------------------------------
+    #
+    # A protocol that can describe its hot crypto as pickle-safe worker
+    # tasks (see repro.workers) overrides these; the executor then runs
+    # do_round's computation and share verification in a CryptoPool worker
+    # instead of blocking the event loop.  The defaults keep every
+    # protocol correct with the pool disabled or absent.
+
+    @property
+    def supports_offload(self) -> bool:
+        """True when this protocol provides offload task descriptions."""
+        return False
+
+    def offload_round(self) -> tuple[str, object, tuple] | None:
+        """``(op_name, task_fn, args)`` computing this round's crypto in a
+        worker, or None to run :meth:`do_round` inline."""
+        return None
+
+    def apply_round(self, result) -> list[ProtocolMessage]:
+        """Fold a worker-computed :meth:`offload_round` result into local
+        state, returning the messages :meth:`do_round` would have sent."""
+        raise ProtocolError(
+            f"instance {self.instance_id}: protocol does not offload rounds"
+        )
+
+    def offload_verify(self, payloads: list[bytes]) -> tuple[str, object, tuple] | None:
+        """``(op_name, task_fn, args)`` batch-verifying peer payloads in a
+        worker (returning per-index verdicts), or None to verify inline."""
+        return None
+
+    def admit_verified(self, payload: bytes) -> None:
+        """Store a peer payload whose cryptographic checks already ran in
+        a worker; decode and duplicate policing still happen locally."""
+        raise ProtocolError(
+            f"instance {self.instance_id}: protocol does not offload verification"
+        )
+
     # -- shared bookkeeping --------------------------------------------------
 
     def advance_round(self) -> None:

@@ -62,6 +62,10 @@ class NodeConfig:
     # Graceful shutdown: how long the daemon waits for in-flight instances
     # to finish before tearing the node down.
     drain_timeout: float = 5.0
+    # Crypto worker-pool offload (docs/performance.md): spawn-context
+    # worker processes for the schemes' pairing/modexp-heavy steps.  0
+    # keeps every operation inline on the event loop.
+    crypto_workers: int = 0
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -86,6 +90,11 @@ class NodeConfig:
             raise ConfigurationError("overload_retry_after must be >= 0")
         if self.drain_timeout < 0:
             raise ConfigurationError("drain_timeout must be >= 0")
+        if self.crypto_workers < 0:
+            raise ConfigurationError(
+                f"crypto_workers must be >= 0 (0 disables the pool), "
+                f"got {self.crypto_workers}"
+            )
 
     def peer_map(self) -> dict[int, tuple[str, int]]:
         return {

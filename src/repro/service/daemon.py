@@ -16,6 +16,7 @@ import argparse
 import asyncio
 import logging
 import signal
+from dataclasses import replace
 
 from ..schemes.keystore import keystore_from_json
 from .config import NodeConfig
@@ -24,15 +25,23 @@ from .node import ThetacryptNode
 logger = logging.getLogger("repro.daemon")
 
 
-def load_node(config_path: str, keystore_path: str) -> ThetacryptNode:
+def load_node(
+    config_path: str,
+    keystore_path: str,
+    crypto_workers: int | None = None,
+) -> ThetacryptNode:
     """Build a node from its on-disk configuration and keystore.
 
     With a ``data_dir`` in the config, the node may already hold (durable)
     keys from a previous life; re-installing identical dealer output is a
     no-op (``install_key`` is idempotent for identical material).
+    ``crypto_workers`` overrides the config's worker-pool size (the
+    ``--crypto-workers`` flag).
     """
     with open(config_path) as handle:
         config = NodeConfig.from_json(handle.read())
+    if crypto_workers is not None:
+        config = replace(config, crypto_workers=crypto_workers)
     node = ThetacryptNode(config)
     with open(keystore_path) as handle:
         shares = keystore_from_json(handle.read())
@@ -97,13 +106,20 @@ def main(argv: list[str] | None = None) -> None:
         help="seconds to wait for in-flight instances on shutdown "
         "(default: the config's drain_timeout)",
     )
+    parser.add_argument(
+        "--crypto-workers",
+        type=int,
+        default=None,
+        help="worker processes for the crypto pool, overriding the "
+        "config's crypto_workers (0 runs all crypto inline)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=logging.DEBUG if args.verbose else logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    node = load_node(args.config, args.keystore)
+    node = load_node(args.config, args.keystore, crypto_workers=args.crypto_workers)
     asyncio.run(run_until_signal(node, drain_timeout=args.drain_timeout))
 
 

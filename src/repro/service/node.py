@@ -37,6 +37,7 @@ from ..schemes.keystore import export_key_share
 from ..serialization import hexlify
 from ..storage import DurableKeystore, DurableResultCache, WriteAheadLog
 from ..telemetry import (
+    EventLoopLagSampler,
     MetricRegistry,
     MetricsHttpServer,
     StorageMetrics,
@@ -45,6 +46,7 @@ from ..telemetry import (
     render_text,
     summarize,
 )
+from ..workers import CryptoPool
 from .config import NodeConfig
 from .server import RpcServer
 
@@ -68,6 +70,7 @@ class ThetacryptNode:
         config: NodeConfig,
         transport: P2PNetwork | None = None,
         tob=None,
+        crypto_pool: CryptoPool | None = None,
     ):
         self.config = config
         # Durability (docs/robustness.md): with a data_dir the node owns a
@@ -122,6 +125,23 @@ class ThetacryptNode:
         register_crypto_cache_collector(default_registry())
         if config.data_dir is not None:
             self._storage_metrics = StorageMetrics(self.registry)
+        # Crypto worker pool (docs/performance.md): an injected pool lets
+        # several in-process nodes share one set of workers (they share
+        # this host's cores anyway); otherwise the node owns a private
+        # pool sized by config.crypto_workers — and only an owned pool is
+        # closed in stop(), injected ones belong to the injector.
+        self._owns_pool = crypto_pool is None and config.crypto_workers > 0
+        if crypto_pool is not None:
+            self.crypto_pool: CryptoPool | None = crypto_pool
+        elif config.crypto_workers > 0:
+            self.crypto_pool = CryptoPool(
+                config.crypto_workers, registry=self.registry
+            )
+        else:
+            self.crypto_pool = None
+        # Event-loop lag heartbeat: the direct measure of how long inline
+        # crypto blocks everything else on this node's loop.
+        self._lag_sampler = EventLoopLagSampler(self.registry)
         self.instances = InstanceManager(
             config.node_id,
             self.network.dispatch,
@@ -131,6 +151,7 @@ class ThetacryptNode:
             results=self._results,
             max_pending=config.max_pending_instances,
             overload_retry_after=config.overload_retry_after,
+            crypto_pool=self.crypto_pool,
         )
         self.network.set_protocol_handler(self.instances.handle_network_message)
         self.rpc = RpcServer(self, config.rpc_host, config.rpc_port)
@@ -150,6 +171,7 @@ class ThetacryptNode:
         await self.rpc.start()
         if self._metrics_http is not None:
             await self._metrics_http.start()
+        self._lag_sampler.start()
 
     def _recover(self) -> None:
         """Crash recovery from ``data_dir`` (no-op for memory-only nodes).
@@ -227,17 +249,26 @@ class ThetacryptNode:
         return self.instances.active_count == 0
 
     async def stop(self) -> None:
+        await self._lag_sampler.stop()
         if self._metrics_http is not None:
             await self._metrics_http.stop()
         await self.rpc.stop()
-        await self.instances.shutdown()
-        await self.network.stop()
-        # Flush + close durable state last: executor completions above may
-        # still append terminal journal records.
-        if self._journal is not None:
-            self._journal.close()
-        if self._results is not None:
-            self._results.close()
+        try:
+            await self.instances.shutdown()
+            await self.network.stop()
+        finally:
+            # The pool owns real child processes: join them even when the
+            # teardown above fails, or a SIGTERM'd daemon would leave
+            # orphaned workers behind.  Injected pools belong to whoever
+            # injected them (several nodes may share one).
+            if self.crypto_pool is not None and self._owns_pool:
+                await self.crypto_pool.close()
+            # Flush + close durable state last: executor completions above
+            # may still append terminal journal records.
+            if self._journal is not None:
+                self._journal.close()
+            if self._results is not None:
+                self._results.close()
 
     @property
     def rpc_address(self) -> tuple[str, int]:
@@ -518,6 +549,18 @@ class ThetacryptNode:
             "recovery": dict(self._recovery),
             "latency": dict(summarize(self.registry.get("repro_instance_seconds"))),
             "crypto_cache": crypto_cache_snapshot(),
+            # Worker-pool offload state (docs/performance.md): task
+            # counters, fallbacks, crashes, and live worker pids.
+            "crypto_pool": (
+                self.crypto_pool.stats()
+                if self.crypto_pool is not None
+                else {"enabled": False, "workers": 0}
+            ),
+            # Scheduling-delay digest from the heartbeat histogram: the
+            # before/after metric for moving crypto off the event loop.
+            "event_loop_lag": dict(
+                summarize(self.registry.get("repro_event_loop_lag_seconds"))
+            ),
         }
 
     def key_info(self) -> list[dict]:

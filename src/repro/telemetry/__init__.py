@@ -14,6 +14,8 @@ from .exposition import (
 from .instruments import (
     ChannelMetrics,
     CoreMetrics,
+    CryptoPoolMetrics,
+    EventLoopLagSampler,
     RpcMetrics,
     StorageMetrics,
     crypto_cache_snapshot,
@@ -44,6 +46,8 @@ __all__ = [
     "CONTENT_TYPE",
     "ChannelMetrics",
     "CoreMetrics",
+    "CryptoPoolMetrics",
+    "EventLoopLagSampler",
     "DEFAULT_BUCKETS",
     "MetricFamily",
     "MetricRegistry",

@@ -15,6 +15,7 @@ for counters, base-unit ``_seconds``/``_bytes`` suffixes).  Two scopes:
 
 from __future__ import annotations
 
+import asyncio
 import time
 from contextlib import contextmanager
 
@@ -23,6 +24,10 @@ from .registry import MetricRegistry, default_registry
 # Buckets for network send operations: these are queue/syscall latencies,
 # far below protocol latencies, so the ladder starts at 10 µs.
 NETWORK_SEND_BUCKETS: tuple[float, ...] = tuple(1e-05 * (2**i) for i in range(16))
+
+# Buckets for event-loop scheduling lag: a healthy loop sits under 1 ms,
+# an inline pairing product pushes it into the 100 ms+ decades.
+LOOP_LAG_BUCKETS: tuple[float, ...] = tuple(1e-04 * (2**i) for i in range(16))
 
 
 class ChannelMetrics:
@@ -185,6 +190,80 @@ class StorageMetrics:
             "at crash time, marked crash_recovery).",
             ("outcome",),
         )
+
+
+class CryptoPoolMetrics:
+    """Worker-pool instruments (held by :class:`repro.workers.CryptoPool`).
+
+    ``outcome`` taxonomy of ``repro_crypto_pool_tasks_total``: ``ok`` (ran
+    in a worker), ``error`` (ran in a worker and failed cryptographically,
+    mirroring the inline failure), ``fallback`` (infrastructure failure —
+    crash/pickling/disabled — so the caller re-ran the work inline).
+    """
+
+    def __init__(self, registry: MetricRegistry):
+        self.tasks = registry.counter(
+            "repro_crypto_pool_tasks_total",
+            "Crypto-pool tasks by operation and outcome "
+            "(ok / error / fallback).",
+            ("op", "outcome"),
+        )
+        self.queue_depth = registry.gauge(
+            "repro_crypto_pool_queue_depth",
+            "Crypto-pool tasks submitted and not yet completed.",
+        )
+        self.task_seconds = registry.histogram(
+            "repro_crypto_pool_task_seconds",
+            "Wall-clock latency of one crypto-pool task (submit to "
+            "result, queueing included), by operation.",
+            ("op",),
+        )
+        self.workers = registry.gauge(
+            "repro_crypto_pool_workers",
+            "Configured worker processes of the live executor (0 when "
+            "the pool is idle, disabled, or closed).",
+        )
+
+
+class EventLoopLagSampler:
+    """Heartbeat measuring asyncio scheduling delay.
+
+    Sleeps ``interval`` seconds in a loop and records how much *later*
+    than requested each wake-up lands in the
+    ``repro_event_loop_lag_seconds`` histogram.  That lag is exactly the
+    time the loop spent blocked in inline computation — the direct
+    before/after metric for moving crypto onto the worker pool.
+    """
+
+    def __init__(self, registry: MetricRegistry, interval: float = 0.05):
+        self._interval = interval
+        self.histogram = registry.histogram(
+            "repro_event_loop_lag_seconds",
+            "Scheduling delay of a periodic heartbeat: how long past its "
+            "deadline the event loop got around to running it.",
+            buckets=LOOP_LAG_BUCKETS,
+        )
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            deadline = loop.time() + self._interval
+            await asyncio.sleep(self._interval)
+            self.histogram.observe(max(0.0, loop.time() - deadline))
 
 
 def crypto_cache_snapshot() -> dict:

@@ -1,0 +1,20 @@
+"""Worker-pool offload: the six schemes' hot crypto off the event loop.
+
+* :mod:`repro.workers.tasks` — pickle-safe task functions + warm-up
+  initializer that runs inside spawn-context worker processes;
+* :mod:`repro.workers.pool` — :class:`CryptoPool`, the telemetry-wired
+  ProcessPoolExecutor wrapper with the inline-fallback contract;
+* :mod:`repro.workers.harness` — the workers-on/off ablation harness used
+  by ``benchmarks/bench_fig4_capacity.py`` and ``tools/bench_smoke.py``.
+"""
+
+from .pool import CryptoPool, CryptoPoolUnavailable
+from .tasks import DEFAULT_WARM_GROUPS, warm_worker, worker_health
+
+__all__ = [
+    "CryptoPool",
+    "CryptoPoolUnavailable",
+    "DEFAULT_WARM_GROUPS",
+    "warm_worker",
+    "worker_health",
+]

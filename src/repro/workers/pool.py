@@ -1,0 +1,216 @@
+"""The crypto worker pool: pairing/modexp off the event loop.
+
+The asyncio node is single-threaded; every pairing product and modexp run
+inline stalls RPC handling, gossip dispatch, and all other in-flight
+instances for its full duration.  :class:`CryptoPool` moves the hot
+protocol steps onto a spawn-context :class:`ProcessPoolExecutor` whose
+workers pre-build the PR-1 precompute tables (see
+:func:`repro.workers.tasks.warm_worker`), so the node scales with CPU
+count instead of being capped at one core.
+
+Degradation contract: the pool never makes an instance fail for
+*infrastructure* reasons.  A disabled pool (``crypto_workers=0``), a
+crashed worker, or an unpicklable task all raise
+:class:`CryptoPoolUnavailable` — callers catch exactly that and run the
+same computation inline, counted by the ``fallback`` outcome of
+``repro_crypto_pool_tasks_total``.  Genuine cryptographic failures raised
+*inside* a task (:class:`~repro.errors.ThetacryptError` subclasses)
+propagate unchanged, exactly as their inline counterparts would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import logging
+import multiprocessing
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+from ..errors import ThetacryptError
+from ..telemetry import CryptoPoolMetrics, MetricRegistry, default_registry
+from .tasks import DEFAULT_WARM_GROUPS, warm_worker
+
+logger = logging.getLogger(__name__)
+
+
+class CryptoPoolUnavailable(Exception):
+    """Offload infrastructure failed; the caller must run inline.
+
+    Deliberately *not* a :class:`~repro.errors.ThetacryptError`: it never
+    describes a protocol outcome, only that the pool could not be used.
+    """
+
+
+class CryptoPool:
+    """A process pool for the six schemes' hot operations.
+
+    Lazy: worker processes spawn on first use (a node configured with
+    workers that never sees load pays nothing).  Self-healing: a broken
+    executor (worker SIGKILLed, initializer crash) is discarded and a
+    fresh one is spawned on the next task.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        registry: MetricRegistry | None = None,
+        warm_groups: tuple[str, ...] = DEFAULT_WARM_GROUPS,
+    ):
+        self._workers = max(0, int(workers))
+        self._warm_groups = tuple(warm_groups)
+        self._metrics = CryptoPoolMetrics(
+            registry if registry is not None else default_registry()
+        )
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._pending = 0
+        self._spawned = 0
+        self._tasks_ok = 0
+        self._tasks_error = 0
+        self._fallbacks = 0
+        self._crashes = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._workers > 0 and not self._closed
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (empty before first use)."""
+        executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return sorted(processes)
+
+    def stats(self) -> dict:
+        """Snapshot for ``ThetacryptNode.stats()["crypto_pool"]``."""
+        return {
+            "enabled": self.enabled,
+            "workers": self._workers,
+            "running": self._executor is not None,
+            "queue_depth": self._pending,
+            "tasks_ok": self._tasks_ok,
+            "tasks_error": self._tasks_error,
+            "fallbacks": self._fallbacks,
+            "crashes": self._crashes,
+            "restarts": max(0, self._spawned - 1),
+            "worker_pids": self.worker_pids,
+        }
+
+    # -- execution ------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if not self.enabled:
+            raise CryptoPoolUnavailable("crypto pool disabled or closed")
+        if self._executor is None:
+            context = multiprocessing.get_context("spawn")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=context,
+                initializer=warm_worker,
+                initargs=(self._warm_groups,),
+            )
+            self._spawned += 1
+            self._metrics.workers.set(self._workers)
+            if self._spawned > 1:
+                logger.warning(
+                    "crypto pool respawned after a worker crash "
+                    "(%d crashes, %d spawns)",
+                    self._crashes,
+                    self._spawned,
+                )
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self._metrics.workers.set(0)
+
+    async def run(self, op: str, fn, *args):
+        """Run ``fn(*args)`` in a worker; raise CryptoPoolUnavailable to
+        signal "run it inline yourself" on any infrastructure failure."""
+        started = time.perf_counter()
+        self._pending += 1
+        self._metrics.queue_depth.set(self._pending)
+        try:
+            try:
+                future = self._ensure_executor().submit(fn, *args)
+            except CryptoPoolUnavailable:
+                self._count(op, "fallback")
+                raise
+            except BrokenExecutor as exc:
+                # A worker died while the pool was idle: submit itself
+                # reports the breakage.  Discard so the next task respawns.
+                self._crashes += 1
+                self._discard_executor()
+                self._count(op, "fallback")
+                logger.warning("crypto pool broken at submit for %s: %s", op, exc)
+                raise CryptoPoolUnavailable(f"worker crashed: {exc}") from exc
+            except Exception as exc:  # noqa: BLE001 - unpicklable task, shutdown race
+                self._count(op, "fallback")
+                raise CryptoPoolUnavailable(f"submit failed: {exc}") from exc
+            try:
+                result = await asyncio.wrap_future(future)
+            except asyncio.CancelledError:
+                future.cancel()
+                raise
+            except ThetacryptError:
+                # The task itself failed cryptographically — same meaning
+                # as the identical inline failure, so let it propagate.
+                self._count(op, "error")
+                self._tasks_error += 1
+                raise
+            except BrokenExecutor as exc:
+                self._crashes += 1
+                self._discard_executor()
+                self._count(op, "fallback")
+                logger.warning("crypto pool worker died during %s: %s", op, exc)
+                raise CryptoPoolUnavailable(f"worker crashed: {exc}") from exc
+            except Exception as exc:  # noqa: BLE001 - pickling of args/results, bugs
+                self._count(op, "fallback")
+                raise CryptoPoolUnavailable(f"pool task failed: {exc}") from exc
+            self._count(op, "ok")
+            self._tasks_ok += 1
+            return result
+        finally:
+            self._pending -= 1
+            self._metrics.queue_depth.set(self._pending)
+            self._metrics.task_seconds.labels(op).observe(
+                time.perf_counter() - started
+            )
+
+    def _count(self, op: str, outcome: str) -> None:
+        if outcome == "fallback":
+            self._fallbacks += 1
+        self._metrics.tasks.labels(op, outcome).inc()
+
+    # -- shutdown -------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Drain and join the workers (blocking shutdown runs off-loop)."""
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None,
+            functools.partial(executor.shutdown, wait=True, cancel_futures=True),
+        )
+        self._metrics.workers.set(0)
+
+    def close_sync(self) -> None:
+        """Synchronous close for non-async teardown paths (tests, atexit)."""
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+            self._metrics.workers.set(0)

@@ -1,0 +1,224 @@
+"""Pickle-safe worker tasks for the crypto pool.
+
+Every function in this module runs inside a spawn-context worker process,
+so the contract is strict:
+
+* top-level functions only (spawn pickles them by reference);
+* arguments and results are primitives — ``bytes``, ``str``, ``int``,
+  lists and dicts thereof — never group elements or key objects;
+* key material travels as :func:`repro.schemes.keystore.export_key_share`
+  blobs and public keys as :func:`export_public_key` blobs, both of which
+  are self-contained (scheme name included);
+* verification tasks report per-payload verdicts (``None`` = valid,
+  ``str`` = rejection reason) instead of raising, so a byzantine payload
+  cannot abort the whole batch and nothing exotic has to cross the
+  process boundary as a pickled exception.
+
+The *operation spec* shared by :func:`create_share` and
+:func:`verify_shares` is a plain dict::
+
+    {"scheme": "bls04", "public": <export_public_key blob>,
+     "kind": "sign" | "decrypt" | "coin", "data": <request bytes>,
+     "share": <export_key_share blob>}     # create_share only
+
+This module deliberately imports only the ``schemes`` layer (never
+``core``), so protocol modules can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..schemes import bls04, bz03, cks05, kg20, sg02, sh00
+from ..schemes.base import get_scheme
+from ..schemes.keystore import import_key_share, import_public_key
+
+#: Groups whose generator fixed-base tables each worker builds at spawn
+#: time.  The PR-1 precompute caches are per-process; without warming, a
+#: fresh worker would re-derive them cold in the middle of its first task.
+DEFAULT_WARM_GROUPS: tuple[str, ...] = ("ed25519", "bn254g1", "bn254g2")
+
+
+def warm_worker(group_names: tuple[str, ...] = DEFAULT_WARM_GROUPS) -> None:
+    """Process-pool initializer: build the hot fixed-base tables once.
+
+    Also forces the heavyweight curve imports (the BN254 tower does real
+    work at import time), so the first real task measures cryptography,
+    not interpreter warm-up.
+    """
+    from ..groups.precompute import fixed_base_table
+    from ..groups.registry import get_group
+
+    for name in group_names:
+        group = get_group(name)
+        fixed_base_table(group.generator())
+
+
+def worker_health() -> dict:
+    """Tiny diagnostic task: which process am I, and is it warm?"""
+    from ..groups.precompute import precompute_stats
+
+    return {"pid": os.getpid(), "precompute": precompute_stats()}
+
+
+# ---------------------------------------------------------------------------
+# Shared decode helpers (mirror the adapters in core.protocols.operations).
+# ---------------------------------------------------------------------------
+
+
+def _decode_request(scheme_name: str, public, kind: str, data: bytes):
+    """Rebuild the request context (ciphertext / message / coin name)."""
+    if kind == "decrypt":
+        if scheme_name == "sg02":
+            return sg02.Sg02Ciphertext.from_bytes(data, public.group)
+        return bz03.Bz03Ciphertext.from_bytes(data)
+    return data  # sign: message bytes; coin: coin name
+
+
+def _decode_share(scheme_name: str, public, payload: bytes):
+    if scheme_name == "sg02":
+        return sg02.Sg02DecryptionShare.from_bytes(payload, public.group)
+    if scheme_name == "bz03":
+        return bz03.Bz03DecryptionShare.from_bytes(payload)
+    if scheme_name == "sh00":
+        return sh00.Sh00SignatureShare.from_bytes(payload)
+    if scheme_name == "bls04":
+        return bls04.Bls04SignatureShare.from_bytes(payload)
+    if scheme_name == "cks05":
+        return cks05.Cks05CoinShare.from_bytes(payload, public.group)
+    if scheme_name == "kg20":
+        return kg20.Kg20SignatureShare.from_bytes(payload)
+    raise ValueError(f"no share decoder for scheme {scheme_name!r}")
+
+
+def _verify_one(kind: str, scheme, public, context, share) -> None:
+    if kind == "decrypt":
+        scheme.verify_decryption_share(public, context, share)
+    elif kind == "sign":
+        scheme.verify_signature_share(public, context, share)
+    elif kind == "coin":
+        scheme.verify_coin_share(public, context, share)
+    else:
+        raise ValueError(f"unknown operation kind {kind!r}")
+
+
+def _verify_batch(scheme_name: str, scheme, public, context, shares) -> bool:
+    """One batched verification call where the scheme has one.
+
+    Returns False when the scheme has no batch API (caller verifies share
+    by share).  SG02/CKS05 batch their DLEQ proofs, BLS04 batches its
+    pairing products (PR-1); BZ03 and SH00 only have per-share checks.
+    """
+    if scheme_name == "sg02":
+        scheme.verify_decryption_shares(public, context, shares)
+        return True
+    if scheme_name == "cks05":
+        scheme.verify_coin_shares(public, context, shares)
+        return True
+    if scheme_name == "bls04":
+        # identify=False: the caller needs a per-index verdict, which the
+        # share-by-share fallback below provides directly.
+        scheme.verify_share_batch(public, context, shares, identify=False)
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The pool tasks.
+# ---------------------------------------------------------------------------
+
+
+def create_share(spec: dict) -> bytes:
+    """Compute this party's partial result (do_round's crypto) off-loop.
+
+    Returns the serialized share; the parent process folds it back into
+    the protocol state with ``apply_round``.
+    """
+    scheme_name, key_share = import_key_share(spec["share"])
+    scheme = get_scheme(scheme_name)
+    kind = spec["kind"]
+    if kind == "decrypt":
+        ciphertext = _decode_request(
+            scheme_name, key_share.public, kind, spec["data"]
+        )
+        return scheme.create_decryption_share(key_share, ciphertext).to_bytes()
+    if kind == "sign":
+        return scheme.partial_sign(key_share, spec["data"]).to_bytes()
+    if kind == "coin":
+        return scheme.create_coin_share(key_share, spec["data"]).to_bytes()
+    raise ValueError(f"unknown operation kind {kind!r}")
+
+
+def verify_shares(spec: dict, payloads: list[bytes]) -> list[str | None]:
+    """Batched share admission: verify a drained inbox in one task.
+
+    Verdict list is index-aligned with ``payloads``: ``None`` for a valid
+    share, a reason string for a rejected one.  The happy path is a single
+    batched verification; only when the batch fails (≥1 bad share) does it
+    fall back to per-share checks to identify the culprits — k extra
+    checks on the byzantine path, none on the honest path.
+    """
+    scheme_name = spec["scheme"]
+    scheme = get_scheme(scheme_name)
+    _, public = import_public_key(spec["public"])
+    context = _decode_request(scheme_name, public, spec["kind"], spec["data"])
+
+    verdicts: list[str | None] = [None] * len(payloads)
+    decoded: list[tuple[int, object]] = []
+    for index, payload in enumerate(payloads):
+        try:
+            decoded.append((index, _decode_share(scheme_name, public, payload)))
+        except Exception as exc:  # noqa: BLE001 - byzantine bytes, any error
+            verdicts[index] = f"malformed share payload: {exc}"
+    if not decoded:
+        return verdicts
+
+    shares = [share for _, share in decoded]
+    batch_failed = False
+    try:
+        if _verify_batch(scheme_name, scheme, public, context, shares):
+            return verdicts
+    except Exception:  # noqa: BLE001 - identify culprits below
+        batch_failed = True
+    # No batch API, or the batch contained at least one invalid share.
+    for index, share in decoded:
+        try:
+            _verify_one(spec["kind"], scheme, public, context, share)
+        except Exception as exc:  # noqa: BLE001
+            verdicts[index] = str(exc) or type(exc).__name__
+    if batch_failed and all(v is None for v in verdicts):
+        # A batch that fails while every individual share passes can only
+        # happen if the batch API itself misbehaved; reject nothing, the
+        # per-share checks are authoritative.
+        pass
+    return verdicts
+
+
+def kg20_verify_shares(
+    public_blob: bytes,
+    message: bytes,
+    commitment_payloads: list[bytes],
+    share_payloads: list[bytes],
+) -> list[str | None]:
+    """FROST signature-share verification (finalize-time, round 2).
+
+    KG20 is interactive, so its executor path stays inline, but the
+    finalize-time share checks are plain DL verifications against the
+    round-0 commitment list and offload cleanly.  Same verdict contract
+    as :func:`verify_shares`.
+    """
+    _, public = import_public_key(public_blob)
+    scheme = get_scheme("kg20")
+    commitments = [
+        kg20.NonceCommitment.from_bytes(payload, public.group)
+        for payload in commitment_payloads
+    ]
+    verdicts: list[str | None] = []
+    for payload in share_payloads:
+        try:
+            share = kg20.Kg20SignatureShare.from_bytes(payload)
+            scheme.verify_signature_share(public, message, share, commitments)
+            verdicts.append(None)
+        except Exception as exc:  # noqa: BLE001
+            verdicts.append(str(exc) or type(exc).__name__)
+    return verdicts
