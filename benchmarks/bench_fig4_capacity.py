@@ -154,12 +154,17 @@ def test_fig4_offload_ablation(benchmark):
 
     Unlike the simulator panels above, this boots an actual in-process
     BLS04 cluster twice over identical key material — once fully inline
-    (``crypto_workers=0``) and once with a shared 2-worker pool — and
-    compares throughput and event-loop lag.  The throughput/lag
-    improvement claims only hold when the host actually has spare cores
-    for the workers, so those assertions are gated on ``cpu_count >= 4``;
-    the correctness claims (pool tasks ran, nothing fell back inline)
-    hold everywhere.
+    (``crypto_workers=0``) and once with a 2-worker pool under the
+    adaptive offload policy — and compares throughput and event-loop
+    lag.  What the pooled run must show depends on the host:
+
+    * ``cpu_count >= 2``: the policy routes through the pool (tasks ran
+      in workers, nothing degraded inline, no crashes);
+    * ``cpu_count == 1``: the policy rules ``few_cores`` and keeps every
+      op inline — the pool never runs a task, which is the fix for the
+      measured sub-1× "speedup" static offload produced here;
+    * ``cpu_count >= 4``: the throughput (≥1.5×) and loop-lag claims
+      additionally apply — they need spare cores for the workers.
     """
     parties, threshold, requests = (4, 1, 3) if fast_mode() else (16, 3, 6)
     results = {}
@@ -194,16 +199,31 @@ def test_fig4_offload_ablation(benchmark):
         rows,
     )
 
-    # Correctness holds regardless of core count: the pooled run really
-    # offloaded (tasks ran in workers, none degraded to inline).
-    assert on.pool.get("tasks_ok", 0) > 0, "pool executed no tasks"
-    assert on.pool.get("fallbacks", 0) == 0, "pooled run degraded inline"
-    assert on.pool.get("crashes", 0) == 0
+    cores = os.cpu_count() or 1
+    policy = on.pool.get("policy", {})
+    if cores >= 2:
+        # Multi-core correctness: the pooled run really offloaded (tasks
+        # ran in workers, none degraded to inline, no worker crashes).
+        assert on.pool.get("tasks_ok", 0) > 0, "pool executed no tasks"
+        assert on.pool.get("fallbacks", 0) == 0, "pooled run degraded inline"
+        assert on.pool.get("crashes", 0) == 0
+    else:
+        # 1-core correctness: the adaptive policy must refuse to offload
+        # (process-hopping with no spare core costs ~35% throughput) and
+        # the never-used pool must not have spawned workers.
+        assert on.pool.get("tasks_ok", 0) == 0, (
+            f"policy offloaded on a 1-core host: {on.pool}"
+        )
+        assert policy.get("reasons", {}).get("few_cores", 0) > 0, (
+            f"policy never ruled few_cores: {policy}"
+        )
+        assert on.pool.get("fallbacks", 0) == 0
+        assert not on.pool.get("worker_pids"), "pool spawned workers unused"
 
     # The performance claims need real parallelism: with fewer cores than
     # event loop + workers, offload only buys loop responsiveness, not
     # wall-clock throughput.
-    if (os.cpu_count() or 1) >= 4:
+    if cores >= 4:
         assert on.ops_per_sec >= 1.5 * off.ops_per_sec, (
             f"workers-on {on.ops_per_sec:.2f} ops/s < 1.5x "
             f"workers-off {off.ops_per_sec:.2f} ops/s"

@@ -31,6 +31,7 @@ from ...telemetry import CoreMetrics, adopt_trace
 from ...workers.pool import CryptoPool, CryptoPoolUnavailable
 from ..messages import ProtocolMessage
 from ..tri import ThresholdRoundProtocol
+from .coalescing import CryptoCoalescer
 from .instance import InstanceRecord
 
 logger = logging.getLogger(__name__)
@@ -54,6 +55,7 @@ class ProtocolExecutor:
         timeout: float | None = None,
         metrics: CoreMetrics | None = None,
         crypto_pool: CryptoPool | None = None,
+        coalescer: CryptoCoalescer | None = None,
     ):
         self.protocol = protocol
         self.record = record
@@ -61,6 +63,7 @@ class ProtocolExecutor:
         self._timeout = timeout
         self._metrics = metrics
         self._pool = crypto_pool
+        self._coalescer = coalescer
         self.inbox: asyncio.Queue[ProtocolMessage] = asyncio.Queue()
         # Inherit the RPC handler's trace when one is active (the request
         # entered at this node); otherwise the instance gets its own trace
@@ -242,18 +245,37 @@ class ProtocolExecutor:
             and self.protocol.supports_offload
         )
 
+    async def _run_pooled(self, op: str, fn, args: tuple):
+        """One pool execution, through the coalescer when one is wired."""
+        if self._coalescer is not None:
+            return await self._coalescer.run(op, fn, args)
+        return await self._pool.run(op, fn, *args)
+
     async def _compute_round(self) -> list[ProtocolMessage]:
-        """do_round, via the crypto pool when the protocol can offload."""
+        """do_round, via the crypto pool when the policy rules to offload.
+
+        Both paths are timed and fed back to the pool's latency EWMAs, so
+        the adaptive policy keeps learning whichever way it ruled.
+        """
         if self._pool is not None and self._pool.enabled:
             task = self.protocol.offload_round()
             if task is not None:
                 op, fn, args = task
-                try:
-                    result = await self._pool.run(op, fn, *args)
-                except CryptoPoolUnavailable:
-                    pass  # degrade to inline; the pool counted the fallback
-                else:
-                    return self.protocol.apply_round(result)
+                if self._pool.decide(op).offload:
+                    started = time.perf_counter()
+                    try:
+                        result = await self._run_pooled(op, fn, args)
+                    except CryptoPoolUnavailable:
+                        pass  # degrade to inline; the pool counted the fallback
+                    else:
+                        self._pool.observe(
+                            op, "pool", time.perf_counter() - started
+                        )
+                        return self.protocol.apply_round(result)
+                started = time.perf_counter()
+                messages = self.protocol.do_round()
+                self._pool.observe(op, "inline", time.perf_counter() - started)
+                return messages
         return self.protocol.do_round()
 
     def _admit_inline(self, message: ProtocolMessage) -> None:
@@ -293,18 +315,53 @@ class ProtocolExecutor:
         """
         own = [m for m in batch if m.sender == self.protocol.party_id]
         peers = [m for m in batch if m.sender != self.protocol.party_id]
+        # Cap verification work at the quorum deficit.  The sequential path
+        # admits one share at a time and stops the moment quorum forms, so
+        # shares past the deficit are never verified there; a drained batch
+        # must not pay for them either (on a 1-core host that surplus alone
+        # doubled per-request latency).  The surplus goes back on the inbox
+        # unverified — if a capped share turns out to be a duplicate or
+        # invalid, the next loop iteration re-drains it against a fresh
+        # deficit.  The floor of one keeps the loop live: every iteration
+        # consumes at least the message it dequeued.
+        progress = self.protocol.progress()
+        if progress is not None and peers:
+            have, need = progress
+            deficit = max(1, need - have)
+            if len(peers) > deficit:
+                for message in peers[deficit:]:
+                    self.inbox.put_nowait(message)
+                peers = peers[:deficit]
         verdicts: list | None = None
+        op: str | None = None
         if peers:
             task = self.protocol.offload_verify([m.payload for m in peers])
             if task is not None:
                 op, fn, args = task
-                try:
-                    verdicts = await self._pool.run(op, fn, *args)
-                except CryptoPoolUnavailable:
-                    verdicts = None
+                if self._pool.decide(op).offload:
+                    started = time.perf_counter()
+                    try:
+                        verdicts = await self._run_pooled(op, fn, args)
+                    except CryptoPoolUnavailable:
+                        verdicts = None
+                    else:
+                        self._pool.observe(
+                            op,
+                            "pool",
+                            time.perf_counter() - started,
+                            items=len(peers),
+                        )
         if peers and (verdicts is None or len(verdicts) != len(peers)):
-            for message in batch:
+            # Policy ruled inline, the pool degraded, or the verdict shape
+            # was wrong: admit the (deficit-capped) batch inline — and time
+            # it, so the policy's inline EWMA keeps learning.
+            started = time.perf_counter()
+            for message in own + peers:
                 self._admit_inline(message)
+            if op is not None:
+                self._pool.observe(
+                    op, "inline", time.perf_counter() - started, items=len(peers)
+                )
             return
         for message in own:
             self._admit_inline(message)

@@ -55,6 +55,7 @@ class InstanceManager:
         max_pending: int | None = None,
         overload_retry_after: float = 0.25,
         crypto_pool=None,
+        coalescer=None,
     ):
         self.party_id = party_id
         self._send = send
@@ -62,6 +63,8 @@ class InstanceManager:
         # Shared by every executor this manager launches; None keeps all
         # crypto inline on the event loop (the pre-offload behaviour).
         self._crypto_pool = crypto_pool
+        # Cross-request batching layer over the pool (same sharing scope).
+        self._coalescer = coalescer
         self.metrics = CoreMetrics(
             registry if registry is not None else default_registry()
         )
@@ -85,9 +88,17 @@ class InstanceManager:
         scheme: str,
         timeout: float | None = None,
     ) -> InstanceRecord:
-        """Create and launch an instance; idempotent on instance id."""
+        """Create and launch an instance; idempotent on instance id.
+
+        Identical-payload requests derive identical instance ids
+        (``derive_instance_id``), so the two idempotency branches below
+        *are* the duplicate-request coalescing path: joining an instance
+        already in flight, or answering from the durable result cache.
+        Both folds are counted as ``repro_requests_coalesced_total``.
+        """
         instance_id = protocol.instance_id
         if instance_id in self._records:
+            self.metrics.coalesced_requests.labels("inflight").inc()
             return self._records[instance_id]
         # Idempotency across restarts: a duplicate of a request finalized
         # in a previous process life is answered from the durable result
@@ -95,6 +106,7 @@ class InstanceManager:
         if self._results is not None:
             cached = self._results.get(instance_id)
             if cached is not None:
+                self.metrics.coalesced_requests.labels("result_cache").inc()
                 return self.restore_finished(instance_id, cached[0], cached[1])
         if self._max_pending is not None and self._active >= self._max_pending:
             self.metrics.rejected.labels("overloaded").inc()
@@ -115,6 +127,7 @@ class InstanceManager:
             timeout=timeout if timeout is not None else self._default_timeout,
             metrics=self.metrics,
             crypto_pool=self._crypto_pool,
+            coalescer=self._coalescer,
         )
         self._records[instance_id] = record
         self._executors[instance_id] = executor

@@ -27,6 +27,7 @@ from ...schemes.base import (
     get_scheme,
 )
 from ...schemes.keystore import export_key_share, export_public_key
+from ...workers.blobs import register_export
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,12 @@ class ShareOperation(ABC):
         self.threshold = threshold
         self.party_id = party_id
         self._shares: dict[int, object] = {}
+        # offload_spec() memo, keyed by include_share.  Everything the spec
+        # derives from (keys, request bytes) is fixed at construction, and
+        # the executor consults the spec per admitted message — without the
+        # memo a decrypt instance would re-serialize its ciphertext on
+        # every share.
+        self._spec_cache: dict[bool, dict | None] = {}
 
     @abstractmethod
     def create_own_share(self) -> bytes:
@@ -117,7 +124,24 @@ class ShareOperation(ABC):
         primitives alone; ``include_share`` adds the exported key share
         (needed by ``create_share``, not by ``verify_shares``).  None
         means the adapter has no worker tasks and must stay inline.
+
+        Key material is referenced by content digest, not carried inline:
+        the export blob is serialized once per key object (memoized by
+        :func:`repro.workers.blobs.register_export`), parked in the
+        parent-side blob store, and shipped to each worker at most once —
+        at spawn time or on a cache-miss retry.
+
+        The result is memoized per ``include_share`` (callers must not
+        mutate it): the executor asks for the spec on every admission
+        cycle, and rebuilding it would re-serialize the request each time.
         """
+        if include_share in self._spec_cache:
+            return self._spec_cache[include_share]
+        spec = self._build_spec(include_share)
+        self._spec_cache[include_share] = spec
+        return spec
+
+    def _build_spec(self, include_share: bool) -> dict | None:
         kind_data = self._request_tuple()
         if kind_data is None:
             return None
@@ -125,12 +149,22 @@ class ShareOperation(ABC):
         scheme_name = self._scheme.name
         spec = {
             "scheme": scheme_name,
-            "public": export_public_key(scheme_name, self._public_key),
+            "public_digest": register_export(
+                "public",
+                scheme_name,
+                self._public_key,
+                lambda: export_public_key(scheme_name, self._public_key),
+            ),
             "kind": kind,
             "data": data,
         }
         if include_share:
-            spec["share"] = export_key_share(scheme_name, self._key_share)
+            spec["share_digest"] = register_export(
+                "share",
+                scheme_name,
+                self._key_share,
+                lambda: export_key_share(scheme_name, self._key_share),
+            )
         return spec
 
     def _request_tuple(self) -> tuple[str, bytes] | None:

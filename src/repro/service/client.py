@@ -56,8 +56,11 @@ class _Connection:
     async def _ensure(self) -> None:
         if self._writer is not None and not self._writer.is_closing():
             return
+        # Match the server's per-line limit: a ``metrics`` response is one
+        # JSON line carrying the full Prometheus exposition, well past
+        # asyncio's 64 KiB default under accumulated label cardinality.
         self._reader, self._writer = await asyncio.open_connection(
-            self._host, self._port
+            self._host, self._port, limit=1 << 20
         )
         self._listen_task = asyncio.get_running_loop().create_task(self._listen())
 

@@ -66,6 +66,15 @@ class NodeConfig:
     # worker processes for the schemes' pairing/modexp-heavy steps.  0
     # keeps every operation inline on the event loop.
     crypto_workers: int = 0
+    # How pool submission is decided (docs/performance.md, "Adaptive
+    # offload"): "adaptive" gates each op on core count, queue depth, and
+    # the observed pool-vs-inline latency EWMAs; "always"/"never" force
+    # the static PR-5 behaviour (benchmarks, tests).
+    offload_policy: str = "adaptive"
+    # Cross-request batching window, seconds: concurrent instances' pool
+    # tasks arriving within it coalesce into one batched worker task.
+    # 0 disables coalescing.
+    coalesce_window: float = 0.002
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -94,6 +103,18 @@ class NodeConfig:
             raise ConfigurationError(
                 f"crypto_workers must be >= 0 (0 disables the pool), "
                 f"got {self.crypto_workers}"
+            )
+        from ..workers.policy import POLICY_MODES
+
+        if self.offload_policy not in POLICY_MODES:
+            raise ConfigurationError(
+                f"offload_policy must be one of {POLICY_MODES}, "
+                f"got {self.offload_policy!r}"
+            )
+        if self.coalesce_window < 0:
+            raise ConfigurationError(
+                f"coalesce_window must be >= 0 (0 disables coalescing), "
+                f"got {self.coalesce_window}"
             )
 
     def peer_map(self) -> dict[int, tuple[str, int]]:

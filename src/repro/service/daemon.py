@@ -29,19 +29,26 @@ def load_node(
     config_path: str,
     keystore_path: str,
     crypto_workers: int | None = None,
+    offload_policy: str | None = None,
+    coalesce_window: float | None = None,
 ) -> ThetacryptNode:
     """Build a node from its on-disk configuration and keystore.
 
     With a ``data_dir`` in the config, the node may already hold (durable)
     keys from a previous life; re-installing identical dealer output is a
     no-op (``install_key`` is idempotent for identical material).
-    ``crypto_workers`` overrides the config's worker-pool size (the
-    ``--crypto-workers`` flag).
+    ``crypto_workers`` / ``offload_policy`` / ``coalesce_window`` override
+    the config's pool sizing and offload behaviour (the matching CLI
+    flags).
     """
     with open(config_path) as handle:
         config = NodeConfig.from_json(handle.read())
     if crypto_workers is not None:
         config = replace(config, crypto_workers=crypto_workers)
+    if offload_policy is not None:
+        config = replace(config, offload_policy=offload_policy)
+    if coalesce_window is not None:
+        config = replace(config, coalesce_window=coalesce_window)
     node = ThetacryptNode(config)
     with open(keystore_path) as handle:
         shares = keystore_from_json(handle.read())
@@ -113,13 +120,33 @@ def main(argv: list[str] | None = None) -> None:
         help="worker processes for the crypto pool, overriding the "
         "config's crypto_workers (0 runs all crypto inline)",
     )
+    parser.add_argument(
+        "--offload-policy",
+        choices=("adaptive", "always", "never"),
+        default=None,
+        help="how pool submission is decided, overriding the config's "
+        "offload_policy (adaptive gates on cores/queue/latency EWMAs)",
+    )
+    parser.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=None,
+        help="cross-request batching window in seconds, overriding the "
+        "config's coalesce_window (0 disables coalescing)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=logging.DEBUG if args.verbose else logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    node = load_node(args.config, args.keystore, crypto_workers=args.crypto_workers)
+    node = load_node(
+        args.config,
+        args.keystore,
+        crypto_workers=args.crypto_workers,
+        offload_policy=args.offload_policy,
+        coalesce_window=args.coalesce_window,
+    )
     asyncio.run(run_until_signal(node, drain_timeout=args.drain_timeout))
 
 

@@ -46,7 +46,9 @@ from ..telemetry import (
     render_text,
     summarize,
 )
+from ..core.orchestration.coalescing import CryptoCoalescer
 from ..workers import CryptoPool
+from ..workers.policy import OffloadPolicy
 from .config import NodeConfig
 from .server import RpcServer
 
@@ -135,10 +137,20 @@ class ThetacryptNode:
             self.crypto_pool: CryptoPool | None = crypto_pool
         elif config.crypto_workers > 0:
             self.crypto_pool = CryptoPool(
-                config.crypto_workers, registry=self.registry
+                config.crypto_workers,
+                registry=self.registry,
+                policy=OffloadPolicy(mode=config.offload_policy),
             )
         else:
             self.crypto_pool = None
+        # Cross-request batching over the pool (docs/performance.md):
+        # concurrent instances' share creations/verifications within the
+        # window coalesce into one batched worker task.
+        self._coalescer: CryptoCoalescer | None = None
+        if self.crypto_pool is not None and config.coalesce_window > 0:
+            self._coalescer = CryptoCoalescer(
+                self.crypto_pool, window=config.coalesce_window
+            )
         # Event-loop lag heartbeat: the direct measure of how long inline
         # crypto blocks everything else on this node's loop.
         self._lag_sampler = EventLoopLagSampler(self.registry)
@@ -152,7 +164,10 @@ class ThetacryptNode:
             max_pending=config.max_pending_instances,
             overload_retry_after=config.overload_retry_after,
             crypto_pool=self.crypto_pool,
+            coalescer=self._coalescer,
         )
+        if self._coalescer is not None:
+            self._coalescer.bind_metrics(self.instances.metrics)
         self.network.set_protocol_handler(self.instances.handle_network_message)
         self.rpc = RpcServer(self, config.rpc_host, config.rpc_port)
         self._metrics_http: MetricsHttpServer | None = None
@@ -550,18 +565,23 @@ class ThetacryptNode:
             "latency": dict(summarize(self.registry.get("repro_instance_seconds"))),
             "crypto_cache": crypto_cache_snapshot(),
             # Worker-pool offload state (docs/performance.md): task
-            # counters, fallbacks, crashes, and live worker pids.
-            "crypto_pool": (
-                self.crypto_pool.stats()
-                if self.crypto_pool is not None
-                else {"enabled": False, "workers": 0}
-            ),
+            # counters, fallbacks, crashes, live worker pids, the adaptive
+            # policy's decisions/EWMAs, and cross-request coalescing.
+            "crypto_pool": self._pool_stats(),
             # Scheduling-delay digest from the heartbeat histogram: the
             # before/after metric for moving crypto off the event loop.
             "event_loop_lag": dict(
                 summarize(self.registry.get("repro_event_loop_lag_seconds"))
             ),
         }
+
+    def _pool_stats(self) -> dict:
+        if self.crypto_pool is None:
+            return {"enabled": False, "workers": 0}
+        stats = self.crypto_pool.stats()
+        if self._coalescer is not None:
+            stats["coalescing"] = self._coalescer.stats()
+        return stats
 
     def key_info(self) -> list[dict]:
         return [

@@ -37,6 +37,12 @@ _PROTOCOL_METHODS = frozenset(
     {"decrypt", "sign", "flip_coin", "run_dkg", "refresh_key", "precompute"}
 )
 
+#: Per-line stream limit for the JSON-lines framing.  The in-band
+#: ``metrics`` response carries a node's whole Prometheus exposition on
+#: one line, which outgrows asyncio's 64 KiB default once label
+#: cardinality accumulates (many schemes × ops × outcomes per counter).
+RPC_LINE_LIMIT = 1 << 20
+
 
 class RpcServer:
     """Per-node RPC listener."""
@@ -58,7 +64,7 @@ class RpcServer:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._on_client, self._host, self._port
+            self._on_client, self._host, self._port, limit=RPC_LINE_LIMIT
         )
 
     async def stop(self) -> None:

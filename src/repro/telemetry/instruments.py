@@ -166,6 +166,25 @@ class CoreMetrics:
             "structured reason (overloaded = pending-instance backlog full).",
             ("reason",),
         )
+        self.coalesced_requests = registry.counter(
+            "repro_requests_coalesced_total",
+            "Duplicate-payload requests served without creating a new "
+            "instance: joined one already in flight (inflight) or answered "
+            "from the idempotent result cache (result_cache).",
+            ("source",),
+        )
+        self.crypto_batches = registry.counter(
+            "repro_crypto_coalesced_batches_total",
+            "Cross-request crypto batches flushed to the worker pool by "
+            "the coalescing admission layer, by batched operation.",
+            ("op",),
+        )
+        self.crypto_batched_items = registry.counter(
+            "repro_crypto_coalesced_items_total",
+            "Individual requests carried inside cross-request crypto "
+            "batches, by batched operation.",
+            ("op",),
+        )
 
 
 class StorageMetrics:
@@ -222,6 +241,19 @@ class CryptoPoolMetrics:
             "repro_crypto_pool_workers",
             "Configured worker processes of the live executor (0 when "
             "the pool is idle, disabled, or closed).",
+        )
+        self.policy_decisions = registry.counter(
+            "repro_crypto_pool_policy_decisions_total",
+            "Adaptive offload-policy rulings by operation, choice "
+            "(offload / inline) and deciding gate (forced / few_cores / "
+            "queue_full / pool_slower / probe / no_data / pool_ok).",
+            ("op", "choice", "reason"),
+        )
+        self.blob_cache = registry.counter(
+            "repro_crypto_pool_blob_cache_total",
+            "Content-addressed key-blob cache events: retry = a task was "
+            "re-run once with blobs attached after a worker-side miss.",
+            ("event",),
         )
 
 

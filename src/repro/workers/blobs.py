@@ -1,0 +1,183 @@
+"""Content-addressed key-material blobs for the crypto pool.
+
+PR 5 shipped the full keystore export blob inside *every* pool task: each
+``create_share``/``verify_shares`` submission re-exported the key material,
+re-pickled it across the process boundary, and re-imported it in the
+worker — per task, for key material that never changes.  On small hosts
+that serialization tax is a measurable slice of the 0.66× throughput
+regression recorded in ``BENCH_offload.json``.
+
+This module replaces the blob-per-task scheme with content addressing:
+
+* a blob's identity is the hex SHA-256 of its bytes (:func:`content_digest`);
+* each side of the process boundary holds a bounded-LRU :class:`BlobStore`
+  mapping digest → blob (and, lazily, the *imported* key object, so a
+  worker also skips re-parsing);
+* the parent process keeps one store per process (:func:`parent_store`),
+  fed by :func:`register_export`, which memoizes the keystore export
+  itself so a long-lived key share is serialized once, not once per
+  protocol instance;
+* task specs then carry ``*_digest`` references; the blobs themselves
+  travel at most once per worker — at spawn time via the warm
+  initializer, or on a cache-miss retry (see ``CryptoPool.run``).
+
+Everything here is deliberately free of ``core`` imports so both the
+worker side (:mod:`repro.workers.tasks`) and the protocol adapters can use
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+#: Default bound for both the parent- and worker-side stores.  Key blobs
+#: are KB-scale; 128 entries comfortably covers every installed key twice
+#: (public + share blob) with room for churn.
+DEFAULT_CAPACITY = 128
+
+
+def content_digest(blob: bytes) -> str:
+    """Hex SHA-256 of the blob — its content address."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+class BlobStore:
+    """A bounded LRU of content-addressed blobs with lazy object memoization.
+
+    Thread-safe: parent-side lookups happen on the event-loop thread while
+    ``asyncio.wrap_future`` callbacks may land elsewhere, and the cost of a
+    lock around dict operations is noise next to the crypto.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._capacity = max(1, int(capacity))
+        # digest -> [blob, imported-object-or-None]
+        self._entries: OrderedDict[str, list] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._installs = 0
+        self._evictions = 0
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, blob: bytes) -> str:
+        """Install a blob under its own content digest; returns the digest."""
+        digest = content_digest(blob)
+        self.add(digest, blob)
+        return digest
+
+    def add(self, digest: str, blob: bytes) -> None:
+        """Install a blob under a caller-supplied digest (idempotent)."""
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return
+            self._entries[digest] = [blob, None]
+            self._installs += 1
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_blob(self, digest: str) -> bytes | None:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._hits += 1
+            return entry[0]
+
+    def get_object(self, digest: str, loader: Callable[[bytes], object]):
+        """The blob's imported form, parsing it at most once per residency.
+
+        Returns None on a missing digest.  The loaded object lives and dies
+        with the blob's LRU entry, so eviction also drops the parsed copy.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._hits += 1
+            blob = entry[0]
+            loaded = entry[1]
+        if loaded is None:
+            # Parse outside the lock (BN254 public keys do real work).
+            loaded = loader(blob)
+            with self._lock:
+                entry = self._entries.get(digest)
+                if entry is not None:
+                    entry[1] = loaded
+        return loaded
+
+    def items(self) -> list[tuple[str, bytes]]:
+        """Snapshot of (digest, blob) pairs, LRU-oldest first."""
+        with self._lock:
+            return [(digest, entry[0]) for digest, entry in self._entries.items()]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "installs": self._installs,
+                "evictions": self._evictions,
+            }
+
+
+_parent_store = BlobStore()
+
+#: Export memo: (kind, scheme, id(obj)) -> (obj, digest).  Holding a strong
+#: reference to the key object pins its id, so an id-reuse collision after
+#: garbage collection cannot alias two different keys.  Bounded like the
+#: blob store; an evicted entry simply re-exports.
+_EXPORT_MEMO: OrderedDict[tuple, tuple] = OrderedDict()
+_EXPORT_MEMO_CAPACITY = 256
+_export_lock = threading.Lock()
+
+
+def parent_store() -> BlobStore:
+    """The parent-process blob store (one per process, like the caches)."""
+    return _parent_store
+
+
+def register_export(
+    kind: str, scheme: str, obj, exporter: Callable[[], bytes]
+) -> str:
+    """Digest of ``obj``'s export blob, serializing at most once per object.
+
+    ``exporter`` runs only on the first sighting of ``obj`` (or after memo
+    eviction); the blob lands in :func:`parent_store` so the pool can ship
+    it to workers on demand.
+    """
+    key = (kind, scheme, id(obj))
+    with _export_lock:
+        memo = _EXPORT_MEMO.get(key)
+        if memo is not None and memo[0] is obj:
+            _EXPORT_MEMO.move_to_end(key)
+            digest = memo[1]
+            if digest in _parent_store:
+                return digest
+            # Blob evicted from the store since it was memoized: fall
+            # through and re-export below.
+    blob = exporter()
+    digest = _parent_store.put(blob)
+    with _export_lock:
+        _EXPORT_MEMO[key] = (obj, digest)
+        _EXPORT_MEMO.move_to_end(key)
+        while len(_EXPORT_MEMO) > _EXPORT_MEMO_CAPACITY:
+            _EXPORT_MEMO.popitem(last=False)
+    return digest

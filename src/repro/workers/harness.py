@@ -23,6 +23,7 @@ from ..schemes.base import get_scheme
 from ..service.config import make_local_configs
 from ..service.node import ThetacryptNode
 from ..telemetry import summarize
+from .policy import OffloadPolicy
 from .pool import CryptoPool
 
 
@@ -89,11 +90,16 @@ async def run_capacity(
     workers: int = 0,
     material=None,
     instance_timeout: float = 300.0,
+    policy: str = "adaptive",
 ) -> AblationResult:
     """Drive ``requests`` concurrent cluster-wide operations and measure.
 
     Pass the same ``material`` to the workers-on and workers-off runs so
     the ablation compares execution, not key generation randomness.
+    ``policy`` selects the pool's offload policy mode: the default
+    "adaptive" measures what a real deployment does on this host (inline
+    on small hosts, pooled on big ones); "always" forces the static PR-5
+    offload for apples-to-apples pool measurements.
     """
     if material is None:
         material = generate_keys(scheme, threshold, parties)
@@ -105,7 +111,11 @@ async def run_capacity(
         instance_timeout=instance_timeout,
     )
     hub = LocalHub()
-    pool = CryptoPool(workers) if workers > 0 else None
+    pool = (
+        CryptoPool(workers, policy=OffloadPolicy(mode=policy))
+        if workers > 0
+        else None
+    )
     nodes = [
         ThetacryptNode(
             config, transport=hub.endpoint(config.node_id), crypto_pool=pool
@@ -175,13 +185,51 @@ async def run_ablation(
     threshold: int = 3,
     requests: int = 6,
     workers: int = 2,
+    policy: str = "adaptive",
 ) -> tuple[AblationResult, AblationResult]:
     """(workers-off, workers-on) pair over identical key material."""
+    offs, ons = await run_ablation_series(
+        scheme, parties, threshold, requests, workers=workers, policy=policy
+    )
+    return offs[0], ons[0]
+
+
+async def run_ablation_series(
+    scheme: str = "bls04",
+    parties: int = 16,
+    threshold: int = 3,
+    requests: int = 6,
+    workers: int = 2,
+    policy: str = "adaptive",
+    repeats: int = 1,
+) -> tuple[list[AblationResult], list[AblationResult]]:
+    """``repeats`` interleaved (off, on) pairs over identical key material.
+
+    Interleaving matters when the comparison is an *equivalence* gate
+    (1-core hosts: pooled-but-inline must match workers-off within
+    noise): single runs drift a few percent over a process's lifetime —
+    allocator growth, cache pressure, CPU contention — so an off-then-on
+    pair systematically penalizes whichever run goes second.  Alternating
+    the two configurations and comparing means cancels that drift.
+    """
     material = generate_keys(scheme, threshold, parties)
-    off = await run_capacity(
-        scheme, parties, threshold, requests, workers=0, material=material
-    )
-    on = await run_capacity(
-        scheme, parties, threshold, requests, workers=workers, material=material
-    )
-    return off, on
+    offs: list[AblationResult] = []
+    ons: list[AblationResult] = []
+    for _ in range(max(1, repeats)):
+        offs.append(
+            await run_capacity(
+                scheme, parties, threshold, requests, workers=0, material=material
+            )
+        )
+        ons.append(
+            await run_capacity(
+                scheme,
+                parties,
+                threshold,
+                requests,
+                workers=workers,
+                material=material,
+                policy=policy,
+            )
+        )
+    return offs, ons

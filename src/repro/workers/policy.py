@@ -1,0 +1,170 @@
+"""The adaptive offload policy: pool submission as a measured decision.
+
+PR 5 gated offload on a static flag (``pool.enabled``), and the ablation
+in ``BENCH_offload.json`` showed why that is wrong: on a 1-core host the
+pool *costs* throughput (0.66× ops/s) because every task pays pickle +
+IPC + scheduling against a worker that shares the only core with the
+event loop.  The same deployment on a multi-core host gains ≥1.5×.
+Whether to offload is a property of the host and the observed latencies,
+not of the configuration file.
+
+:class:`OffloadPolicy` makes the call per operation kind from three
+inputs, in order:
+
+1. **Core count** — with fewer than ``min_cores`` logical CPUs there is
+   no spare core for a worker; everything stays inline (``few_cores``).
+2. **Queue depth** — a pool backlog deeper than
+   ``workers × max_queue_per_worker`` means new work would wait longer in
+   the pool than it takes to run inline; spill inline (``queue_full``).
+3. **Latency EWMAs** — per-(op, path) exponentially weighted moving
+   averages of observed per-item latency.  When the pool's EWMA exceeds
+   the inline EWMA by ``slowdown_margin``, stay inline (``pool_slower``)
+   — except every ``probe_every``-th suppressed decision, which offloads
+   anyway (``probe``) so the pool EWMA can recover once conditions change.
+
+Decisions are counted per (op, choice, reason) — exported as
+``repro_crypto_pool_policy_decisions_total`` by the pool — and surfaced
+in ``stats()["crypto_pool"]["policy"]``.  ``mode="always"`` and
+``mode="never"`` short-circuit the matrix for benchmarks and tests that
+need the static PR-5 behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Valid values of ``NodeConfig.offload_policy`` / ``OffloadPolicy(mode=)``.
+POLICY_MODES = ("adaptive", "always", "never")
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One offload ruling: where to run, and which gate decided."""
+
+    choice: str  # "offload" | "inline"
+    reason: str
+
+    @property
+    def offload(self) -> bool:
+        return self.choice == "offload"
+
+
+_INLINE = "inline"
+_OFFLOAD = "offload"
+
+
+class OffloadPolicy:
+    """Per-op inline-vs-offload decisions from cores, queue depth, EWMAs."""
+
+    def __init__(
+        self,
+        mode: str = "adaptive",
+        min_cores: int = 2,
+        max_queue_per_worker: int = 8,
+        slowdown_margin: float = 1.25,
+        probe_every: int = 16,
+        alpha: float = 0.2,
+        cpu_count: int | None = None,
+    ):
+        if mode not in POLICY_MODES:
+            raise ConfigurationError(
+                f"offload policy mode must be one of {POLICY_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self._min_cores = max(1, int(min_cores))
+        self._max_queue_per_worker = max(1, int(max_queue_per_worker))
+        self._slowdown_margin = float(slowdown_margin)
+        self._probe_every = max(2, int(probe_every))
+        self._alpha = float(alpha)
+        self._cpu_count = (
+            int(cpu_count) if cpu_count is not None else (os.cpu_count() or 1)
+        )
+        # (op, path) -> EWMA of per-item seconds; path is "pool" | "inline".
+        self._ewma: dict[tuple[str, str], float] = {}
+        # op -> count of decisions suppressed by pool_slower (drives probes).
+        self._suppressed: dict[str, int] = {}
+        # (choice, reason) -> decision count, for stats().
+        self._decisions: dict[tuple[str, str], int] = {}
+
+    @property
+    def cpu_count(self) -> int:
+        return self._cpu_count
+
+    # -- the decision matrix --------------------------------------------------
+
+    def decide(self, op: str, queue_depth: int, workers: int) -> PolicyDecision:
+        """Rule on one prospective pool submission for operation ``op``."""
+        decision = self._decide(op, queue_depth, workers)
+        key = (decision.choice, decision.reason)
+        self._decisions[key] = self._decisions.get(key, 0) + 1
+        return decision
+
+    def _decide(self, op: str, queue_depth: int, workers: int) -> PolicyDecision:
+        if self.mode == "always":
+            return PolicyDecision(_OFFLOAD, "forced")
+        if self.mode == "never":
+            return PolicyDecision(_INLINE, "forced")
+        if self._cpu_count < self._min_cores:
+            return PolicyDecision(_INLINE, "few_cores")
+        if workers > 0 and queue_depth >= workers * self._max_queue_per_worker:
+            return PolicyDecision(_INLINE, "queue_full")
+        pool_ewma = self._ewma.get((op, "pool"))
+        inline_ewma = self._ewma.get((op, "inline"))
+        if (
+            pool_ewma is not None
+            and inline_ewma is not None
+            and pool_ewma > inline_ewma * self._slowdown_margin
+        ):
+            suppressed = self._suppressed.get(op, 0) + 1
+            self._suppressed[op] = suppressed
+            if suppressed % self._probe_every == 0:
+                return PolicyDecision(_OFFLOAD, "probe")
+            return PolicyDecision(_INLINE, "pool_slower")
+        if pool_ewma is None and inline_ewma is None:
+            return PolicyDecision(_OFFLOAD, "no_data")
+        return PolicyDecision(_OFFLOAD, "pool_ok")
+
+    # -- learning -------------------------------------------------------------
+
+    def observe(self, op: str, path: str, seconds: float, items: int = 1) -> None:
+        """Feed one measured execution back into the per-item EWMA.
+
+        ``path`` is ``"pool"`` (submit-to-result through the workers,
+        coalescing window included) or ``"inline"`` (the same computation
+        on the event loop); ``items`` normalizes batched executions so the
+        two paths stay comparable per share.
+        """
+        sample = max(0.0, float(seconds)) / max(1, int(items))
+        key = (op, path)
+        previous = self._ewma.get(key)
+        if previous is None:
+            self._ewma[key] = sample
+        else:
+            self._ewma[key] = self._alpha * sample + (1 - self._alpha) * previous
+
+    def ewma(self, op: str, path: str) -> float | None:
+        return self._ewma.get((op, path))
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot for ``stats()["crypto_pool"]["policy"]``."""
+        by_choice: dict[str, int] = {}
+        by_reason: dict[str, int] = {}
+        for (choice, reason), count in self._decisions.items():
+            by_choice[choice] = by_choice.get(choice, 0) + count
+            by_reason[reason] = by_reason.get(reason, 0) + count
+        ewma_ms: dict[str, dict[str, float]] = {}
+        for (op, path), value in self._ewma.items():
+            ewma_ms.setdefault(op, {})[path] = round(value * 1000, 3)
+        return {
+            "mode": self.mode,
+            "cores": self._cpu_count,
+            "min_cores": self._min_cores,
+            "decisions": by_choice,
+            "reasons": by_reason,
+            "ewma_ms": ewma_ms,
+        }

@@ -1,0 +1,778 @@
+"""Adaptive offload policy, blob caching, coalescing, and pool healing.
+
+The PR-6 regression fix in four layers, each tested at its own seam:
+
+* :class:`OffloadPolicy` — the inline-vs-offload decision matrix over
+  core count, queue depth, and latency EWMAs (pure logic, no processes);
+* :mod:`repro.workers.blobs` — content-addressed key-material caching,
+  so exports cross the process boundary once per worker, not per task;
+* digest-referencing task specs — in-process miss/install/batch
+  semantics, plus the pool's one-retry-with-blobs behaviour end to end;
+* :class:`CryptoCoalescer` — cross-request batching over a fake pool
+  (window formation, per-item error isolation, failure fan-out) and the
+  instance manager's identical-request folding counter;
+* :class:`CryptoPool` healing — a SIGKILLed worker observed by several
+  in-flight tasks counts *one* crash, and ``worker_pids`` never raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.orchestration.coalescing import CryptoCoalescer
+from repro.errors import ConfigurationError, CryptoError
+from repro.network.local import LocalHub
+from repro.schemes import generate_keys
+from repro.schemes.keystore import export_key_share, export_public_key
+from repro.service.config import NodeConfig, make_local_configs
+from repro.service.node import ThetacryptNode
+from repro.telemetry import MetricRegistry, parse_text, render_text
+from repro.workers import (
+    BlobCacheMissError,
+    BlobStore,
+    CryptoPool,
+    CryptoPoolUnavailable,
+    OffloadPolicy,
+    content_digest,
+    parent_store,
+    register_export,
+)
+from repro.workers import tasks as pool_tasks
+
+
+# ---------------------------------------------------------------------------
+# The decision matrix.
+# ---------------------------------------------------------------------------
+
+
+class TestOffloadPolicy:
+    def test_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            OffloadPolicy(mode="sometimes")
+
+    def test_forced_modes_short_circuit(self):
+        always = OffloadPolicy(mode="always", cpu_count=1)
+        decision = always.decide("op", queue_depth=10_000, workers=1)
+        assert (decision.choice, decision.reason) == ("offload", "forced")
+        assert decision.offload
+
+        never = OffloadPolicy(mode="never", cpu_count=64)
+        decision = never.decide("op", queue_depth=0, workers=2)
+        assert (decision.choice, decision.reason) == ("inline", "forced")
+        assert not decision.offload
+
+    def test_few_cores_keeps_everything_inline(self):
+        policy = OffloadPolicy(cpu_count=1)
+        # Even with EWMAs saying the pool is fast, no spare core = inline.
+        policy.observe("op", "pool", 0.001)
+        policy.observe("op", "inline", 1.0)
+        for _ in range(5):
+            decision = policy.decide("op", queue_depth=0, workers=2)
+            assert (decision.choice, decision.reason) == ("inline", "few_cores")
+
+    def test_queue_gate_spills_inline(self):
+        policy = OffloadPolicy(cpu_count=8, max_queue_per_worker=4)
+        below = policy.decide("op", queue_depth=7, workers=2)
+        assert below.offload
+        at_limit = policy.decide("op", queue_depth=8, workers=2)
+        assert (at_limit.choice, at_limit.reason) == ("inline", "queue_full")
+
+    def test_no_data_then_pool_ok(self):
+        policy = OffloadPolicy(cpu_count=8)
+        first = policy.decide("op", queue_depth=0, workers=2)
+        assert (first.choice, first.reason) == ("offload", "no_data")
+        # With only one path observed there is nothing to compare: offload.
+        policy.observe("op", "pool", 0.010)
+        ruled = policy.decide("op", queue_depth=0, workers=2)
+        assert (ruled.choice, ruled.reason) == ("offload", "pool_ok")
+        # Pool comparable to inline (within the margin): still offload.
+        policy.observe("op", "inline", 0.009)
+        ruled = policy.decide("op", queue_depth=0, workers=2)
+        assert (ruled.choice, ruled.reason) == ("offload", "pool_ok")
+
+    def test_pool_slower_suppresses_with_probe_cadence(self):
+        policy = OffloadPolicy(cpu_count=8, slowdown_margin=1.25, probe_every=4)
+        policy.observe("op", "inline", 0.001)
+        policy.observe("op", "pool", 0.010)  # 10x slower: suppressed
+        choices = [
+            policy.decide("op", queue_depth=0, workers=2) for _ in range(8)
+        ]
+        reasons = [(d.choice, d.reason) for d in choices]
+        assert reasons == [
+            ("inline", "pool_slower"),
+            ("inline", "pool_slower"),
+            ("inline", "pool_slower"),
+            ("offload", "probe"),
+        ] * 2
+        # EWMAs are per-op: a different op is unaffected.
+        other = policy.decide("other", queue_depth=0, workers=2)
+        assert (other.choice, other.reason) == ("offload", "no_data")
+
+    def test_ewma_per_item_normalization_and_blend(self):
+        policy = OffloadPolicy(cpu_count=8, alpha=0.5)
+        policy.observe("op", "pool", 1.0, items=10)
+        assert policy.ewma("op", "pool") == pytest.approx(0.1)
+        policy.observe("op", "pool", 0.2, items=1)
+        # 0.5 * 0.2 + 0.5 * 0.1
+        assert policy.ewma("op", "pool") == pytest.approx(0.15)
+        assert policy.ewma("op", "inline") is None
+
+    def test_stats_aggregate_decisions_and_ewmas(self):
+        policy = OffloadPolicy(cpu_count=1)
+        for _ in range(3):
+            policy.decide("a", queue_depth=0, workers=2)
+        policy.observe("a", "inline", 0.004)
+        stats = policy.stats()
+        assert stats["mode"] == "adaptive"
+        assert stats["cores"] == 1
+        assert stats["decisions"] == {"inline": 3}
+        assert stats["reasons"] == {"few_cores": 3}
+        assert stats["ewma_ms"]["a"]["inline"] == pytest.approx(4.0)
+
+
+class TestPoolPolicyWiring:
+    def test_decide_exports_decision_metric(self):
+        registry = MetricRegistry()
+        pool = CryptoPool(
+            2, registry=registry, policy=OffloadPolicy(cpu_count=1)
+        )
+        decision = pool.decide("bls04:create_share")
+        assert (decision.choice, decision.reason) == ("inline", "few_cores")
+        parsed = parse_text(render_text(registry))
+        counted = sum(
+            value
+            for (name, labels), value in parsed.items()
+            if name == "repro_crypto_pool_policy_decisions_total"
+            and dict(labels)
+            == {
+                "op": "bls04:create_share",
+                "choice": "inline",
+                "reason": "few_cores",
+            }
+        )
+        assert counted == 1
+        assert pool.stats()["policy"]["reasons"] == {"few_cores": 1}
+
+    def test_observe_discards_warm_spawn_samples(self):
+        pool = CryptoPool(2, registry=MetricRegistry())
+        # What _ensure_executor sets right after a spawn: the first
+        # `workers` pool samples price process start-up, not offload.
+        pool._observe_skip = 2
+        pool.observe("op", "pool", 5.0)
+        pool.observe("op", "pool", 5.0)
+        assert pool.policy.ewma("op", "pool") is None
+        pool.observe("op", "pool", 0.010)
+        assert pool.policy.ewma("op", "pool") == pytest.approx(0.010)
+        # Inline samples are never start-up-contaminated: not skipped.
+        pool._observe_skip = 2
+        pool.observe("op", "inline", 0.002)
+        assert pool.policy.ewma("op", "inline") == pytest.approx(0.002)
+
+    def test_config_validates_policy_fields(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(node_id=1, parties=4, threshold=1, offload_policy="no")
+        with pytest.raises(ConfigurationError):
+            NodeConfig(node_id=1, parties=4, threshold=1, coalesce_window=-0.1)
+        config = make_local_configs(4, 1, offload_policy="never")[0]
+        assert NodeConfig.from_json(config.to_json()).offload_policy == "never"
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed blobs.
+# ---------------------------------------------------------------------------
+
+
+class TestBlobStore:
+    def test_put_and_get_round_trip(self):
+        store = BlobStore(capacity=4)
+        digest = store.put(b"blob bytes")
+        assert digest == content_digest(b"blob bytes")
+        assert digest in store
+        assert store.get_blob(digest) == b"blob bytes"
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["installs"] == 1
+
+    def test_miss_and_eviction_counters(self):
+        store = BlobStore(capacity=2)
+        first = store.put(b"one")
+        store.put(b"two")
+        store.put(b"three")  # evicts "one" (LRU-oldest)
+        assert store.get_blob(first) is None
+        stats = store.stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+        assert stats["misses"] == 1
+
+    def test_get_blob_refreshes_lru_position(self):
+        store = BlobStore(capacity=2)
+        first = store.put(b"one")
+        second = store.put(b"two")
+        store.get_blob(first)  # "one" becomes most-recent
+        store.put(b"three")  # evicts "two", not "one"
+        assert store.get_blob(first) == b"one"
+        assert store.get_blob(second) is None
+
+    def test_get_object_parses_once_per_residency(self):
+        store = BlobStore(capacity=2)
+        digest = store.put(b"payload")
+        calls = []
+
+        def loader(blob: bytes) -> str:
+            calls.append(blob)
+            return blob.decode()
+
+        assert store.get_object(digest, loader) == "payload"
+        assert store.get_object(digest, loader) == "payload"
+        assert len(calls) == 1
+        # Eviction drops the parsed copy with the blob.
+        store.put(b"a")
+        store.put(b"b")
+        assert store.get_object(digest, loader) is None
+
+    def test_register_export_serializes_once_per_object(self, keys_bls04):
+        calls = []
+        share = keys_bls04.share_for(4)
+
+        def exporter() -> bytes:
+            calls.append(1)
+            return export_key_share("bls04", share)
+
+        first = register_export("share", "bls04", share, exporter)
+        second = register_export("share", "bls04", share, exporter)
+        assert first == second
+        assert len(calls) == 1
+        assert parent_store().get_blob(first) is not None
+
+
+# ---------------------------------------------------------------------------
+# Digest-referencing task specs (in-process: pure logic, no pool).
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def digest_material():
+    """Fresh key material with unregistered export blobs.
+
+    The worker-side blob cache (``tasks._worker_blobs``) is process-global
+    and entries persist across tests, so the cache-miss assertions need
+    digests no earlier test can have installed — fresh keys guarantee it.
+    """
+    material = generate_keys("bls04", 1, 3)
+    public_blob = export_public_key("bls04", material.public_key)
+    share_blobs = {
+        party: export_key_share("bls04", material.share_for(party))
+        for party in (1, 2, 3)
+    }
+    return material, public_blob, share_blobs
+
+
+def _digest_spec(public_blob: bytes, share_blob: bytes | None, data: bytes) -> dict:
+    spec = {
+        "scheme": "bls04",
+        "public_digest": content_digest(public_blob),
+        "kind": "sign",
+        "data": data,
+    }
+    if share_blob is not None:
+        spec["share_digest"] = content_digest(share_blob)
+    return spec
+
+
+class TestDigestSpecs:
+    def test_miss_then_piggyback_install_then_hit(self, digest_material):
+        material, public_blob, share_blobs = digest_material
+        message = b"digest spec round trip"
+        spec = _digest_spec(public_blob, share_blobs[1], message)
+        with pytest.raises(BlobCacheMissError) as excinfo:
+            pool_tasks.create_share(spec)
+        assert sorted(excinfo.value.digests) == sorted(
+            [spec["public_digest"], spec["share_digest"]]
+        )
+        blobs = {
+            spec["public_digest"]: public_blob,
+            spec["share_digest"]: share_blobs[1],
+        }
+        pooled = pool_tasks.create_share(spec, blobs=blobs)
+        # The piggybacked blobs are now cached: same spec, no blobs needed.
+        assert pool_tasks.create_share(spec) == pooled
+        # Bit-identity with the legacy inline-blob spec.
+        legacy = pool_tasks.create_share(
+            {
+                "scheme": "bls04",
+                "public": public_blob,
+                "kind": "sign",
+                "data": message,
+                "share": share_blobs[1],
+            }
+        )
+        assert pooled == legacy
+
+    def test_batch_matches_sequential_bit_identical(self, digest_material):
+        material, public_blob, share_blobs = digest_material
+        message = b"batch vs sequential"
+        specs = [
+            _digest_spec(public_blob, share_blobs[party], message)
+            for party in (1, 2, 3)
+        ]
+        blobs = {content_digest(public_blob): public_blob}
+        blobs.update(
+            {content_digest(blob): blob for blob in share_blobs.values()}
+        )
+        batched = pool_tasks.create_share_batch(specs, blobs=blobs)
+        sequential = [pool_tasks.create_share(spec) for spec in specs]
+        assert [tag for tag, _ in batched] == ["ok", "ok", "ok"]
+        assert [value for _, value in batched] == sequential
+
+        # And the batched payloads verify like any others.
+        verify = _digest_spec(public_blob, None, message)
+        verdicts = pool_tasks.verify_shares(
+            verify, [value for _, value in batched]
+        )
+        assert verdicts == [None, None, None]
+
+    def test_batch_isolates_a_bad_item(self, digest_material):
+        material, public_blob, share_blobs = digest_material
+        good = _digest_spec(public_blob, share_blobs[1], b"good request")
+        bad = dict(good, kind="no-such-kind")
+        results = pool_tasks.create_share_batch([good, bad])
+        assert results[0][0] == "ok"
+        assert results[1][0] == "error"
+        assert "no-such-kind" in results[1][1]
+
+    def test_batch_prescans_all_missing_digests(self, digest_material):
+        material, public_blob, share_blobs = digest_material
+        resolvable = _digest_spec(public_blob, share_blobs[1], b"x")
+        phantom = content_digest(b"never installed anywhere")
+        unresolvable = dict(resolvable, share_digest=phantom)
+        with pytest.raises(BlobCacheMissError) as excinfo:
+            pool_tasks.create_share_batch([resolvable, unresolvable])
+        assert phantom in excinfo.value.digests
+
+    def test_verify_multi_matches_per_group(self, digest_material):
+        material, public_blob, share_blobs = digest_material
+        messages = [b"multi group A", b"multi group B"]
+        groups = []
+        for message in messages:
+            payloads = [
+                pool_tasks.create_share(
+                    _digest_spec(public_blob, share_blobs[party], message)
+                )
+                for party in (1, 2)
+            ]
+            groups.append((_digest_spec(public_blob, None, message), payloads))
+        multi = pool_tasks.verify_shares_multi(groups)
+        singles = [
+            pool_tasks.verify_shares(spec, payloads)
+            for spec, payloads in groups
+        ]
+        assert multi == singles == [[None, None], [None, None]]
+
+
+@pytest.mark.slow
+class TestPoolBlobRetry:
+    def test_cache_miss_retries_once_with_blobs(self):
+        """A digest registered *after* worker spawn round-trips via one
+        retry; a digest nobody holds degrades to inline fallback."""
+        registry = MetricRegistry()
+        pool = CryptoPool(
+            1, registry=registry, policy=OffloadPolicy(mode="always")
+        )
+
+        async def scenario():
+            # Spawn + warm first: the warm install snapshots the parent
+            # store *now*, so anything registered later is missing.
+            await pool.run("health", pool_tasks.worker_health)
+            material = generate_keys("bls04", 1, 3)
+            public_digest = register_export(
+                "public",
+                "bls04",
+                material.public_key,
+                lambda: export_public_key("bls04", material.public_key),
+            )
+            share = material.share_for(1)
+            share_digest = register_export(
+                "share",
+                "bls04",
+                share,
+                lambda: export_key_share("bls04", share),
+            )
+            spec = {
+                "scheme": "bls04",
+                "public_digest": public_digest,
+                "kind": "sign",
+                "data": b"late key install",
+                "share_digest": share_digest,
+            }
+            payload = await pool.run(
+                "bls04:create_share", pool_tasks.create_share, spec
+            )
+            assert isinstance(payload, bytes) and payload
+
+            # Steady state: the retry installed the blobs for good.
+            again = await pool.run(
+                "bls04:create_share", pool_tasks.create_share, spec
+            )
+            assert again == payload
+
+            # A digest the parent store does not hold either cannot run
+            # pooled at all: infrastructure fallback, not a crash.
+            phantom = dict(spec, share_digest=content_digest(b"phantom"))
+            with pytest.raises(CryptoPoolUnavailable):
+                await pool.run(
+                    "bls04:create_share", pool_tasks.create_share, phantom
+                )
+            await pool.close()
+
+        asyncio.run(scenario())
+        stats = pool.stats()
+        assert stats["blob_retries"] == 1
+        assert stats["tasks_ok"] == 3  # health + first run + steady-state
+        assert stats["fallbacks"] == 1  # the phantom digest
+        assert stats["crashes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Pool healing and introspection hardening.
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPidsDefensive:
+    def test_empty_before_spawn_and_on_breakage(self):
+        pool = CryptoPool(1, registry=MetricRegistry())
+        assert pool.worker_pids == []
+
+        class FreshlyBrokenExecutor:
+            """What a crashing executor can look like mid-heal."""
+
+            @property
+            def _processes(self):
+                raise RuntimeError("dict mutated during iteration")
+
+        pool._executor = FreshlyBrokenExecutor()
+        assert pool.worker_pids == []
+
+        class StrippedExecutor:
+            pass  # no _processes attribute at all (implementation drift)
+
+        pool._executor = StrippedExecutor()
+        assert pool.worker_pids == []
+
+        class HealthyExecutor:
+            _processes = {30: object(), 10: object(), 20: object()}
+
+        pool._executor = HealthyExecutor()
+        assert pool.worker_pids == [10, 20, 30]
+        pool._executor = None
+        pool.close_sync()
+
+
+@pytest.mark.slow
+class TestHealOncePerGeneration:
+    def test_sigkill_with_two_in_flight_counts_one_crash(self):
+        """Two tasks observing the same broken executor heal it once.
+
+        Regression test for the double-count: both the submit and await
+        paths of concurrent in-flight tasks see ``BrokenExecutor`` when a
+        worker is SIGKILLed; ``crashes`` must count breakages (1), not
+        observers (2).
+        """
+        pool = CryptoPool(
+            2, registry=MetricRegistry(), policy=OffloadPolicy(mode="always")
+        )
+
+        async def scenario():
+            first = asyncio.ensure_future(
+                pool.run("hold", pool_tasks.hold_worker, 30.0)
+            )
+            second = asyncio.ensure_future(
+                pool.run("hold", pool_tasks.hold_worker, 30.0)
+            )
+            deadline = time.monotonic() + 30.0
+            while not pool.worker_pids and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            pids = pool.worker_pids
+            assert pids, "pool never spawned workers"
+            os.kill(pids[0], signal.SIGKILL)
+            results = await asyncio.gather(
+                first, second, return_exceptions=True
+            )
+            # One dead worker breaks the whole executor: both in-flight
+            # tasks fail with the infrastructure error (fall back inline).
+            for result in results:
+                assert isinstance(result, CryptoPoolUnavailable), result
+            stats_mid = pool.stats()
+            # Healed exactly once, though both tasks saw the breakage.
+            assert stats_mid["crashes"] == 1, stats_mid
+
+            # And the heal actually worked: the next task respawns.
+            health = await pool.run("health", pool_tasks.worker_health)
+            assert health["pid"] not in pids
+            await pool.close()
+
+        asyncio.run(scenario())
+        stats = pool.stats()
+        assert stats["crashes"] == 1
+        assert stats["restarts"] == 1
+        assert stats["fallbacks"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Cross-request coalescing.
+# ---------------------------------------------------------------------------
+
+
+class FakePool:
+    """Records pool.run calls; behaviour injected per test."""
+
+    def __init__(self, handler):
+        self.calls: list[tuple[str, object, tuple]] = []
+        self._handler = handler
+
+    async def run(self, op, fn, *args):
+        self.calls.append((op, fn, args))
+        return await self._handler(op, fn, args)
+
+
+class TestCryptoCoalescer:
+    def _spec(self, tag: str) -> dict:
+        return {"scheme": "bls04", "kind": "sign", "data": tag.encode()}
+
+    def test_concurrent_creates_merge_into_one_batch(self):
+        async def handler(op, fn, args):
+            assert fn is pool_tasks.create_share_batch
+            (specs,) = args
+            return [("ok", spec["data"]) for spec in specs]
+
+        pool = FakePool(handler)
+        coalescer = CryptoCoalescer(pool, window=0.02)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    coalescer.run(
+                        "bls04:create_share",
+                        pool_tasks.create_share,
+                        (self._spec(tag),),
+                    )
+                    for tag in ("a", "b", "c")
+                )
+            )
+
+        results = asyncio.run(scenario())
+        assert results == [b"a", b"b", b"c"]
+        assert len(pool.calls) == 1
+        op, fn, args = pool.calls[0]
+        assert op == "create_share_batch"
+        assert [spec["data"] for spec in args[0]] == [b"a", b"b", b"c"]
+        stats = coalescer.stats()
+        assert stats["batches"] == 1 and stats["batched_items"] == 3
+
+    def test_bad_item_fails_only_its_own_future(self):
+        async def handler(op, fn, args):
+            return [("ok", b"fine"), ("error", "bad spec")]
+
+        coalescer = CryptoCoalescer(FakePool(handler), window=0.02)
+
+        async def scenario():
+            return await asyncio.gather(
+                coalescer.run(
+                    "op", pool_tasks.create_share, (self._spec("good"),)
+                ),
+                coalescer.run(
+                    "op", pool_tasks.create_share, (self._spec("bad"),)
+                ),
+                return_exceptions=True,
+            )
+
+        good, bad = asyncio.run(scenario())
+        assert good == b"fine"
+        assert isinstance(bad, CryptoError)
+        assert "bad spec" in str(bad)
+
+    def test_pool_unavailable_fans_out_to_all_waiters(self):
+        async def handler(op, fn, args):
+            raise CryptoPoolUnavailable("induced")
+
+        coalescer = CryptoCoalescer(FakePool(handler), window=0.02)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    coalescer.run(
+                        "op", pool_tasks.create_share, (self._spec(tag),)
+                    )
+                    for tag in ("a", "b")
+                ),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(r, CryptoPoolUnavailable) for r in results)
+
+    def test_lone_item_runs_as_the_single_task(self):
+        async def handler(op, fn, args):
+            assert fn is pool_tasks.create_share
+            return b"single result"
+
+        pool = FakePool(handler)
+        coalescer = CryptoCoalescer(pool, window=0.005)
+
+        async def scenario():
+            return await coalescer.run(
+                "bls04:create_share",
+                pool_tasks.create_share,
+                (self._spec("solo"),),
+            )
+
+        assert asyncio.run(scenario()) == b"single result"
+        # The single-item window preserves the original op label.
+        assert pool.calls == [
+            ("bls04:create_share", pool_tasks.create_share, (self._spec("solo"),))
+        ]
+        assert coalescer.stats()["singles"] == 1
+        assert coalescer.stats()["batches"] == 0
+
+    def test_full_bucket_flushes_before_the_window(self):
+        async def handler(op, fn, args):
+            return [("ok", spec["data"]) for spec in args[0]]
+
+        pool = FakePool(handler)
+        # A 10 s window: only the max_batch early flush can finish this
+        # test promptly, which is exactly what it asserts.
+        coalescer = CryptoCoalescer(pool, window=10.0, max_batch=2)
+
+        async def scenario():
+            started = asyncio.get_running_loop().time()
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    *(
+                        coalescer.run(
+                            "op", pool_tasks.create_share, (self._spec(tag),)
+                        )
+                        for tag in ("a", "b")
+                    )
+                ),
+                timeout=5.0,
+            )
+            return results, asyncio.get_running_loop().time() - started
+
+        results, elapsed = asyncio.run(scenario())
+        assert results == [b"a", b"b"]
+        assert elapsed < 5.0
+        assert coalescer.stats()["batches"] == 1
+
+    def test_verify_route_packs_groups(self):
+        async def handler(op, fn, args):
+            assert fn is pool_tasks.verify_shares_multi
+            (groups,) = args
+            return [[None] * len(payloads) for _, payloads in groups]
+
+        pool = FakePool(handler)
+        coalescer = CryptoCoalescer(pool, window=0.02)
+
+        async def scenario():
+            return await asyncio.gather(
+                coalescer.run(
+                    "bls04:verify_shares",
+                    pool_tasks.verify_shares,
+                    (self._spec("A"), [b"s1", b"s2"]),
+                ),
+                coalescer.run(
+                    "bls04:verify_shares",
+                    pool_tasks.verify_shares,
+                    (self._spec("B"), [b"s3"]),
+                ),
+            )
+
+        verdicts = asyncio.run(scenario())
+        assert verdicts == [[None, None], [None]]
+        assert pool.calls[0][0] == "verify_shares_multi"
+
+    def test_unroutable_fn_passes_straight_through(self):
+        async def handler(op, fn, args):
+            return {"pid": 1}
+
+        pool = FakePool(handler)
+        coalescer = CryptoCoalescer(pool, window=0.02)
+
+        async def scenario():
+            return await coalescer.run(
+                "health", pool_tasks.worker_health, ()
+            )
+
+        assert asyncio.run(scenario()) == {"pid": 1}
+        assert pool.calls == [("health", pool_tasks.worker_health, ())]
+        assert coalescer.stats()["batches"] == 0
+        assert coalescer.stats()["singles"] == 0
+
+    def test_shape_mismatch_fails_every_waiter(self):
+        async def handler(op, fn, args):
+            return [("ok", b"only one")]  # two items went in
+
+        coalescer = CryptoCoalescer(FakePool(handler), window=0.02)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    coalescer.run(
+                        "op", pool_tasks.create_share, (self._spec(tag),)
+                    )
+                    for tag in ("a", "b")
+                ),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(r, CryptoError) for r in results)
+
+
+@pytest.mark.integration
+class TestDuplicateRequestCoalescing:
+    def test_identical_requests_fold_into_one_instance(self, keys_bls04):
+        """Same payload submitted twice → one instance, counted folds."""
+        configs = make_local_configs(4, 1, transport="local", rpc_base_port=0)
+        hub = LocalHub()
+        nodes = []
+        for config in configs:
+            node = ThetacryptNode(config, transport=hub.endpoint(config.node_id))
+            node.install_key(
+                "bls04",
+                "bls04",
+                keys_bls04.public_key,
+                keys_bls04.share_for(config.node_id),
+            )
+            nodes.append(node)
+
+        async def scenario():
+            for node in nodes:
+                await node.start()
+            try:
+                message = b"duplicate request payload"
+                results = await asyncio.gather(
+                    *(
+                        node.run_request("sign", "bls04", message)
+                        for node in nodes
+                        for _ in range(2)
+                    )
+                )
+            finally:
+                for node in nodes:
+                    await node.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(set(results)) == 1
+        for node in nodes:
+            parsed = parse_text(node.render_metrics())
+            folded = sum(
+                value
+                for (name, labels), value in parsed.items()
+                if name == "repro_requests_coalesced_total"
+                and dict(labels).get("source") == "inflight"
+            )
+            assert folded >= 1, f"node {node.config.node_id} never folded"

@@ -25,7 +25,7 @@ from repro.service.config import NodeConfig, make_local_configs
 from repro.service.node import ThetacryptNode
 from repro.telemetry import MetricRegistry, summarize
 from repro.telemetry.instruments import EventLoopLagSampler
-from repro.workers import CryptoPool, CryptoPoolUnavailable
+from repro.workers import CryptoPool, CryptoPoolUnavailable, OffloadPolicy
 from repro.workers import tasks as pool_tasks
 
 
@@ -249,7 +249,11 @@ class TestClusterEquivalence:
 
         async def scenario():
             inline = await _run_all_kinds(_cluster(all_keys), all_keys)
-            pool = CryptoPool(2, registry=MetricRegistry())
+            # mode="always": this is an equivalence test, so the pool must
+            # actually run, whatever this host's core count would decide.
+            pool = CryptoPool(
+                2, registry=MetricRegistry(), policy=OffloadPolicy(mode="always")
+            )
             try:
                 pooled = await _run_all_kinds(
                     _cluster(all_keys, crypto_pool=pool), all_keys
@@ -285,7 +289,9 @@ class TestClusterEquivalence:
                 self._count(op, "fallback")
                 raise CryptoPoolUnavailable("induced breakage")
 
-        pool = AlwaysBrokenPool(2, registry=MetricRegistry())
+        pool = AlwaysBrokenPool(
+            2, registry=MetricRegistry(), policy=OffloadPolicy(mode="always")
+        )
 
         async def scenario():
             nodes = _cluster({"bls04": keys_bls04}, crypto_pool=pool)
@@ -323,7 +329,14 @@ class TestServiceWiring:
     def test_node_stats_expose_pool_and_lag(self, keys_cks05):
         async def scenario():
             configs = make_local_configs(
-                4, 1, transport="local", rpc_base_port=0, crypto_workers=1
+                4,
+                1,
+                transport="local",
+                rpc_base_port=0,
+                crypto_workers=1,
+                # Force offload so the pool assertions below hold on any
+                # host, 1-core CI included.
+                offload_policy="always",
             )
             hub = LocalHub()
             nodes = []

@@ -2,9 +2,21 @@
 
 Runs the workers-on/off ablation from ``repro.workers.harness`` against an
 in-process BLS04 cluster and writes ``BENCH_offload.json`` next to the repo
-root — one record per run with scheme, n/t, worker count, ops/s, request
-p50/p99, event-loop lag p99, and the pool's task counters — so successive
-runs on the same machine are comparable and CI artifacts are greppable.
+root — the latest run (scheme, n/t, worker count, ops/s, request p50/p99,
+event-loop lag p99, pool task counters, and the adaptive policy's
+decisions) plus a bounded ``history`` of prior runs' summaries, so the
+perf trajectory on a machine survives re-runs instead of being overwritten.
+
+The pool runs under the **adaptive** offload policy — the deployment
+default — so what this gate checks is what a real node does on this host:
+
+* 1-core host: the policy keeps every op inline (``few_cores``), the pool
+  never spawns, and throughput must stay within noise of the inline run
+  (``speedup ≥ 0.95`` — the PR-5 static behaviour measured 0.66×).  This
+  is an equivalence gate, so the two configurations run as interleaved
+  repeats and the means are compared (cancels in-process drift);
+* ≥2 cores: the policy routes through the pool (tasks ran, no fallbacks);
+* ≥4 cores: the throughput (≥1.5×) and loop-lag claims apply.
 
 Usage::
 
@@ -27,17 +39,69 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.workers.harness import run_ablation  # noqa: E402
+from repro.workers.harness import run_ablation_series  # noqa: E402
+
+#: Prior-run summaries kept in the persisted JSON (oldest dropped first).
+HISTORY_LIMIT = 20
 
 
 def fast_mode() -> bool:
     return os.environ.get("REPRO_FAST", "") not in ("", "0")
 
 
-async def measure(scheme: str, parties: int, threshold: int, requests: int, workers: int):
-    return await run_ablation(
-        scheme, parties, threshold, requests=requests, workers=workers
+async def measure(
+    scheme: str,
+    parties: int,
+    threshold: int,
+    requests: int,
+    workers: int,
+    repeats: int,
+):
+    return await run_ablation_series(
+        scheme, parties, threshold, requests=requests, workers=workers,
+        policy="adaptive", repeats=repeats,
     )
+
+
+def _summary(payload: dict) -> dict:
+    """Compact history entry for one persisted run (host shape + speedup)."""
+    runs = payload.get("runs", [])
+    on = runs[1] if len(runs) > 1 else {}
+    return {
+        "timestamp": payload.get("timestamp"),
+        "host": {
+            "cores": payload.get("host", {}).get("cores"),
+            "fast_mode": payload.get("host", {}).get("fast_mode"),
+        },
+        "speedup_ops_per_sec": payload.get("speedup_ops_per_sec"),
+        "ops_per_sec_off": payload.get(
+            "ops_per_sec_off", runs[0].get("ops_per_sec") if runs else None
+        ),
+        "ops_per_sec_on": payload.get("ops_per_sec_on", on.get("ops_per_sec")),
+        "policy": {
+            "mode": on.get("pool", {}).get("policy", {}).get("mode"),
+            "decisions": on.get("pool", {}).get("policy", {}).get("decisions"),
+        },
+    }
+
+
+def _load_history(out: Path) -> list[dict]:
+    """Prior runs from the existing baseline file, oldest first."""
+    if not out.exists():
+        return []
+    try:
+        prior = json.loads(out.read_text())
+    except (OSError, ValueError):
+        return []
+    history = list(prior.get("history", []))
+    # Pre-history files (the PR-5 format) carried only their own run:
+    # fold it in so the trajectory starts from the measured regression.
+    if not history and "speedup_ops_per_sec" in prior:
+        history.append(_summary(prior))
+        return history
+    if "speedup_ops_per_sec" in prior:
+        history.append(_summary(prior))
+    return history
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,24 +121,47 @@ def main(argv: list[str] | None = None) -> int:
         parties, threshold, requests = 16, 3, 6
 
     cores = os.cpu_count() or 1
+    # The 1-core check is an *equivalence* gate (pooled-but-inline must
+    # match workers-off within noise), which a single off/on pair cannot
+    # resolve: individual runs drift a few percent within one process.
+    # Interleaved repeats cancel the drift; comparing means is then a
+    # fair ±2% measurement.  Multi-core gates (1.5x) are coarse enough
+    # for one pair.
+    repeats = 3 if cores == 1 else 1
     print(
         f"offload ablation: {args.scheme} n={parties} t={threshold}, "
-        f"{requests} concurrent requests, {cores} cores"
+        f"{requests} concurrent requests, {cores} cores, adaptive policy, "
+        f"{repeats} interleaved pair(s)"
     )
-    off, on = asyncio.run(
-        measure(args.scheme, parties, threshold, requests, args.workers)
+    offs, ons = asyncio.run(
+        measure(args.scheme, parties, threshold, requests, args.workers, repeats)
     )
+    off_ops = sum(r.ops_per_sec for r in offs) / len(offs)
+    on_ops = sum(r.ops_per_sec for r in ons) / len(ons)
+    # Everything except throughput (pool counters, policy decisions, lag)
+    # is identical across repeats; report and gate on the last pair.
+    off, on = offs[-1], ons[-1]
 
-    for result in (off, on):
+    for results, mean_ops in ((offs, off_ops), (ons, on_ops)):
+        rounds = "/".join(f"{r.ops_per_sec:.2f}" for r in results)
+        result = results[-1]
         print(
-            f"  workers={result.workers}: {result.ops_per_sec:.2f} ops/s, "
+            f"  workers={result.workers}: {mean_ops:.2f} ops/s ({rounds}), "
             f"p50 {result.latency_p50 * 1000:.0f} ms, "
             f"p99 {result.latency_p99 * 1000:.0f} ms, "
             f"loop-lag p99 {result.loop_lag_p99 * 1000:.0f} ms, "
             f"pool ok={result.pool.get('tasks_ok', 0)} "
             f"fallbacks={result.pool.get('fallbacks', 0)}"
         )
+    policy = on.pool.get("policy", {})
+    print(
+        f"  policy: mode={policy.get('mode')} cores={policy.get('cores')} "
+        f"decisions={policy.get('decisions', {})} "
+        f"reasons={policy.get('reasons', {})}"
+    )
 
+    out = Path(args.out)
+    history = _load_history(out)[-HISTORY_LIMIT:]
     payload = {
         "benchmark": "crypto_pool_offload_ablation",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -84,25 +171,50 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "fast_mode": fast_mode(),
         },
-        "runs": [off.to_dict(), on.to_dict()],
-        "speedup_ops_per_sec": (
-            on.ops_per_sec / off.ops_per_sec if off.ops_per_sec else None
-        ),
+        "repeats": repeats,
+        "runs": [r.to_dict() for pair in zip(offs, ons) for r in pair],
+        "ops_per_sec_off": off_ops,
+        "ops_per_sec_on": on_ops,
+        "speedup_ops_per_sec": on_ops / off_ops if off_ops else None,
+        "history": history,
     }
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(history)} prior runs in history)")
 
+    speedup = payload["speedup_ops_per_sec"] or 0.0
     failures = []
-    if on.pool.get("tasks_ok", 0) <= 0:
-        failures.append("pool executed no tasks")
-    if on.pool.get("fallbacks", 0) != 0:
-        failures.append(f"pooled run fell back inline {on.pool['fallbacks']}x")
+    if cores >= 2:
+        # Multi-core: the policy must actually route through the pool.
+        if on.pool.get("tasks_ok", 0) <= 0:
+            failures.append("pool executed no tasks")
+        if on.pool.get("fallbacks", 0) != 0:
+            failures.append(f"pooled run fell back inline {on.pool['fallbacks']}x")
+    else:
+        # 1-core host — the environment of the measured 0.66× regression.
+        # The adaptive policy must keep every op inline and hold
+        # throughput within noise of the workers-off run.
+        reasons = policy.get("reasons", {})
+        if policy.get("decisions", {}).get("offload", 0) != 0:
+            failures.append(
+                f"policy offloaded on a 1-core host: {policy.get('decisions')}"
+            )
+        if reasons.get("few_cores", 0) <= 0:
+            failures.append(f"policy never ruled few_cores: {reasons}")
+        if on.pool.get("tasks_ok", 0) != 0:
+            failures.append(
+                f"pool ran {on.pool['tasks_ok']} tasks despite 1 core"
+            )
+        if speedup < 0.95:
+            failures.append(
+                f"adaptive policy cost throughput on 1 core: "
+                f"{speedup:.2f}x < 0.95x"
+            )
     # The throughput claim needs spare cores for the workers; on smaller
     # hosts the ablation is informational (the JSON still records it).
-    if cores >= 4 and on.ops_per_sec < 1.5 * off.ops_per_sec:
+    if cores >= 4 and on_ops < 1.5 * off_ops:
         failures.append(
-            f"workers-on {on.ops_per_sec:.2f} ops/s < 1.5x "
-            f"workers-off {off.ops_per_sec:.2f} ops/s on a {cores}-core host"
+            f"workers-on {on_ops:.2f} ops/s < 1.5x "
+            f"workers-off {off_ops:.2f} ops/s on a {cores}-core host"
         )
     if cores >= 4 and on.loop_lag_p99 >= off.loop_lag_p99:
         failures.append("event-loop lag p99 did not drop with workers on")
@@ -110,7 +222,7 @@ def main(argv: list[str] | None = None) -> int:
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:
-        print("bench-smoke OK")
+        print(f"bench-smoke OK (speedup {speedup:.2f}x on {cores} cores)")
     return 1 if failures else 0
 
 
