@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast bench-smoke check metrics-smoke chaos-smoke recovery-smoke offload-smoke examples fixtures clean
+.PHONY: install test test-fast bench bench-fast bench-smoke check metrics-smoke chaos-smoke recovery-smoke offload-smoke federation-smoke examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -54,6 +54,16 @@ recovery-smoke:
 # (docs/performance.md).
 offload-smoke:
 	PYTHONPATH=src $(PYTHON) tools/offload_smoke.py
+
+# Federation gate: deal disjoint keys across 2 two-node groups from a
+# topology file, start the 4 node daemons plus a stateless router
+# daemon, and drive SG02 decryption (group alpha) and BLS04 signing
+# (group beta) through the router's single endpoint.  Per-shard router
+# telemetry must count both shards, and SIGKILLing the router
+# mid-workload then restarting it must lose no accepted request
+# (docs/federation.md).  No orphaned processes after SIGTERM.
+federation-smoke:
+	PYTHONPATH=src $(PYTHON) tools/federation_smoke.py
 
 # Workers-on/off ablation on the real asyncio service (pooled run under
 # the adaptive policy), persisted machine-readably to BENCH_offload.json

@@ -1,0 +1,56 @@
+"""Sharded scale-out: stateless front-end routers over federated groups.
+
+Today's single Θ-network holds every key on every node and runs every
+instance everywhere; per-group capacity is therefore the service's
+capacity.  This package partitions the key space across *independent*
+threshold node-groups and puts a stateless router role in front:
+
+* :mod:`repro.router.ring` — consistent hashing (virtual nodes) from key
+  ids to group ids, deterministic across processes;
+* :mod:`repro.router.topology` — the federation descriptor (groups, their
+  member endpoints, keyspace ownership), JSON round-trip like
+  ``NodeConfig``;
+* :mod:`repro.router.core` — the :class:`Router` core: front-side RPC
+  semantics, back-side fan-out to the owning group, redirect-following,
+  per-shard telemetry;
+* :mod:`repro.router.daemon` — :class:`RouterDaemon`, a standalone
+  process speaking the existing client RPC protocol;
+* :mod:`repro.router.federation` — :class:`FederatedCluster`, the
+  in-process R-routers × G-groups harness used by the federation tests
+  and ``benchmarks/bench_federation.py``.
+
+Only the dependency-free leaves are imported eagerly: ``repro.service``
+imports :class:`Topology` (for ``NodeConfig.topology``) while
+:mod:`repro.router.core` imports the service client, so the heavier
+modules load lazily to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .ring import HashRing
+from .topology import GroupSpec, Topology
+
+__all__ = [
+    "GroupSpec",
+    "HashRing",
+    "Router",
+    "RouterDaemon",
+    "FederatedCluster",
+    "Topology",
+]
+
+
+def __getattr__(name: str):
+    if name == "Router":
+        from .core import Router
+
+        return Router
+    if name == "RouterDaemon":
+        from .daemon import RouterDaemon
+
+        return RouterDaemon
+    if name == "FederatedCluster":
+        from .federation import FederatedCluster
+
+        return FederatedCluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,305 @@
+"""The stateless router core: front-side RPC semantics, back-side fan-out.
+
+A :class:`Router` holds no protocol state at all — only the topology, one
+:class:`ThetacryptClient` per group, and its metric registry.  Every
+request is resolved to the owning group (pinned assignment, else the
+consistent-hash ring) and fanned out to that group's members; the first
+assembled answer wins, exactly as the direct client does against a single
+Θ-network.  Because instance ids derive from request content and
+finalized results are cached (durably on nodes with a ``data_dir``), a
+router crash loses nothing: the caller retries the idempotent request
+through any router and the owning group answers from its result cache.
+
+Redirects: when a group rejects a request with ``wrong_group`` (its
+topology says another group owns the key — i.e. this router's view was
+stale), the router follows the owning group named in the error payload,
+bounded by ``max_redirects`` and counted as
+``repro_router_redirects_total{source="router"}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..errors import RpcError
+from ..service.client import ThetacryptClient
+from ..telemetry import (
+    MetricRegistry,
+    RouterMetrics,
+    default_registry,
+    render_text,
+)
+from .topology import Topology
+
+#: Methods the router resolves by key id and forwards to the owning group.
+_KEYED_METHODS = frozenset(
+    {
+        "decrypt",
+        "sign",
+        "flip_coin",
+        "precompute",
+        "run_dkg",
+        "refresh_key",
+        "encrypt",
+        "verify_signature",
+    }
+)
+
+#: Keyed methods whose result is one threshold-op payload assembled by the
+#: group: fan out to every member, first success wins.
+_FAN_FIRST_METHODS = frozenset({"decrypt", "sign", "flip_coin"})
+
+#: Keyed methods that must run on *every* group member (key mutations and
+#: precomputation fill per-node state); all members must succeed.
+_GROUP_WIDE_METHODS = frozenset({"precompute", "run_dkg", "refresh_key"})
+
+
+class Router:
+    """Stateless front-end over a federation of threshold groups."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        auth_token: str = "",
+        registry: MetricRegistry | None = None,
+        max_redirects: int = 2,
+        name: str = "router",
+    ):
+        self.topology = topology
+        self.name = name
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._metrics = RouterMetrics(self.registry)
+        self._max_redirects = max_redirects
+        self._clients = {
+            spec.group_id: ThetacryptClient(
+                spec.rpc_endpoints(), auth_token=auth_token
+            )
+            for spec in topology.groups
+        }
+
+    # -- routing ---------------------------------------------------------------
+
+    def owner_of(self, key_id: str) -> str:
+        return self.topology.owner_of(key_id)
+
+    def group_client(self, group_id: str) -> ThetacryptClient:
+        if group_id not in self._clients:
+            raise RpcError(f"unknown group {group_id!r}")
+        return self._clients[group_id]
+
+    async def dispatch(self, method: str, params: dict) -> dict:
+        """Front-side dispatch: same method/param/result shapes as a node."""
+        if method in _KEYED_METHODS:
+            key_id = params.get("key_id")
+            if not key_id:
+                raise RpcError(f"{method} requires a key_id")
+            return await self._dispatch_keyed(method, str(key_id), params)
+        if method == "ping":
+            # node_id 0 never names a real node; the extra fields identify
+            # the responder as a router to topology-aware callers.
+            return {
+                "node_id": 0,
+                "router": self.name,
+                "groups": list(self.topology.group_ids),
+            }
+        if method == "metrics":
+            return {"text": self.render_metrics()}
+        if method == "node_stats":
+            return self.stats()
+        if method == "list_keys":
+            return {"keys": await self._list_keys()}
+        if method == "status":
+            return await self._status(params)
+        raise RpcError(f"unknown method {method!r}")
+
+    async def _dispatch_keyed(
+        self, method: str, key_id: str, params: dict
+    ) -> dict:
+        group = self.owner_of(key_id)
+        redirects = 0
+        while True:
+            current = group
+            started = time.perf_counter()
+            gauge = self._metrics.inflight.labels(current)
+            gauge.inc()
+            outcome = "ok"
+            try:
+                return await self._forward(current, method, params)
+            except Exception as exc:
+                outcome = "error"
+                target = self._redirect_target(exc)
+                if (
+                    target is not None
+                    and target != current
+                    and redirects < self._max_redirects
+                ):
+                    outcome = "redirected"
+                    self._metrics.redirects.labels("router").inc()
+                    group = target
+                    redirects += 1
+                    continue
+                raise
+            finally:
+                gauge.dec()
+                self._metrics.upstream_seconds.labels(current).observe(
+                    time.perf_counter() - started
+                )
+                self._metrics.requests.labels(current, method, outcome).inc()
+
+    def _redirect_target(self, exc: Exception) -> str | None:
+        if getattr(exc, "reason", None) != "wrong_group":
+            return None
+        details = getattr(exc, "details", None) or {}
+        target = details.get("group")
+        return target if target in self._clients else None
+
+    async def _forward(self, group: str, method: str, params: dict) -> dict:
+        client = self._clients[group]
+        if method in _FAN_FIRST_METHODS:
+            return await self._fan_first(client, method, params)
+        if method in _GROUP_WIDE_METHODS:
+            return await self._group_wide(client, method, params)
+        # Single-node scheme-API call (encrypt / verify_signature): any
+        # member can answer; walk them until one does.
+        errors: list[Exception] = []
+        for node_id in client.node_ids:
+            try:
+                return await client.call(node_id, method, params)
+            except RpcError as exc:
+                if getattr(exc, "reason", None) == "wrong_group":
+                    raise
+                if str(exc) == "connection closed":
+                    errors.append(exc)
+                    continue
+                raise
+            except (ConnectionError, OSError) as exc:
+                errors.append(exc)
+        raise RpcError(f"group {group!r}: all members unreachable: {errors}")
+
+    async def _fan_first(
+        self, client: ThetacryptClient, method: str, params: dict
+    ) -> dict:
+        """First assembled group answer wins; ``wrong_group`` fails fast.
+
+        Forwards the raw request payload untouched (no decode/re-encode):
+        the router is a pass-through for the RPC protocol, so new request
+        fields never need router support.
+        """
+        tasks = [
+            asyncio.ensure_future(client.call(node_id, method, params))
+            for node_id in client.node_ids
+        ]
+        try:
+            errors: list[Exception] = []
+            for future in asyncio.as_completed(tasks):
+                try:
+                    return await future
+                except Exception as exc:  # noqa: BLE001 - try other members
+                    if getattr(exc, "reason", None) == "wrong_group":
+                        raise
+                    errors.append(exc)
+            raise RpcError(f"all group members failed: {errors}")
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _group_wide(
+        self, client: ThetacryptClient, method: str, params: dict
+    ) -> dict:
+        results = await client.broadcast(method, params)
+        for node_id, result in results.items():
+            if isinstance(result, Exception):
+                if getattr(result, "reason", None) == "wrong_group":
+                    raise result
+                raise RpcError(
+                    f"group member {node_id} failed {method}: {result}"
+                )
+        # All members agree on the shape; group-key consistency checks are
+        # the group's own job (see ThetacryptClient.run_dkg).
+        first = next(iter(results.values()))
+        keys = {
+            response.get("group_key")
+            for response in results.values()
+            if "group_key" in response
+        }
+        if len(keys) > 1:
+            raise RpcError(f"group members disagree on the group key: {keys}")
+        return first
+
+    # -- introspection ---------------------------------------------------------
+
+    async def _list_keys(self) -> list[dict]:
+        """Union of every group's key catalog, annotated with the owner."""
+        merged: list[dict] = []
+        for group_id, client in self._clients.items():
+            last_error: Exception | None = None
+            for node_id in client.node_ids:
+                try:
+                    result = await client.call(node_id, "list_keys", {})
+                except (RpcError, ConnectionError, OSError) as exc:
+                    last_error = exc
+                    continue
+                for entry in result.get("keys", []):
+                    merged.append({**entry, "group": group_id})
+                last_error = None
+                break
+            if last_error is not None:
+                merged.append({"group": group_id, "error": str(last_error)})
+        return merged
+
+    async def _status(self, params: dict) -> dict:
+        """Instance status: the id alone does not name a group, so ask all."""
+        errors: list[Exception] = []
+        for group_id, client in self._clients.items():
+            for node_id in client.node_ids:
+                try:
+                    result = await client.call(node_id, "status", params)
+                except (RpcError, ConnectionError, OSError) as exc:
+                    errors.append(exc)
+                    continue
+                return {**result, "group": group_id}
+        raise RpcError(f"no group knows instance: {errors}")
+
+    def stats(self) -> dict:
+        """Health snapshot: per-shard request counts from the registry."""
+        shards: dict[str, dict] = {
+            group_id: {"requests": {}, "inflight": 0}
+            for group_id in self.topology.group_ids
+        }
+        requests = self.registry.get("repro_router_requests_total")
+        if requests is not None:
+            for child in requests.children():
+                labels = dict(child.label_items)
+                shard = shards.setdefault(
+                    labels.get("group", "?"), {"requests": {}, "inflight": 0}
+                )
+                outcome = labels.get("outcome", "?")
+                shard["requests"][outcome] = (
+                    shard["requests"].get(outcome, 0) + child.value
+                )
+        inflight = self.registry.get("repro_router_inflight")
+        if inflight is not None:
+            for child in inflight.children():
+                labels = dict(child.label_items)
+                if labels.get("group") in shards:
+                    shards[labels["group"]]["inflight"] = child.value
+        return {
+            "router": self.name,
+            "groups": list(self.topology.group_ids),
+            "vnodes": self.topology.vnodes,
+            "assignments": dict(self.topology.assignments),
+            "shards": shards,
+        }
+
+    def render_metrics(self) -> str:
+        """This router's Prometheus exposition (own + process metrics)."""
+        return render_text(self.registry, default_registry())
+
+    async def close(self) -> None:
+        await asyncio.gather(
+            *(client.close() for client in self._clients.values()),
+            return_exceptions=True,
+        )

@@ -1,0 +1,260 @@
+"""Run a stateless Thetacrypt router as a standalone process.
+
+The front-end entry point of a federated deployment: clients speak the
+ordinary JSON-lines RPC protocol to the router exactly as they would to a
+node, and the router fans each request out to the threshold group that
+owns its key::
+
+    python3 -m repro.router.daemon --topology deployment/topology.json \
+                                   --rpc-port 23500
+
+Routers hold no state — run as many as the load needs behind any TCP
+load-balancing scheme, and kill/restart them freely: in-flight requests
+are retried by the client and absorbed by the groups' idempotent result
+caches.  The process serves RPC until SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import signal
+import time
+
+from ..errors import RpcError, ThetacryptError
+from ..service.server import RPC_LINE_LIMIT
+from ..telemetry import MetricsHttpServer, RpcMetrics
+from .core import Router
+from .topology import Topology
+
+logger = logging.getLogger("repro.router")
+
+
+class RouterRpcServer:
+    """Front-side RPC listener: the same wire protocol as ``RpcServer``.
+
+    Shares the node server's framing, auth handling, and structured-error
+    serialization (reason / retry_after / details), but dispatches into a
+    :class:`Router` instead of a node.
+    """
+
+    def __init__(self, router: Router, host: str, port: int, auth_token: str = ""):
+        self._router = router
+        self._host = host
+        self._port = port
+        self._auth_token = auth_token
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._metrics = RpcMetrics(router.registry)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            return self._host, self._port
+        sock = self._server.sockets[0]
+        return sock.getsockname()[0], sock.getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_client, self._host, self._port, limit=RPC_LINE_LIMIT
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._metrics.connections.inc()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        finally:
+            writer.close()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = None
+        method = ""
+        outcome = "ok"
+        started = time.perf_counter()
+        self._metrics.inflight.inc()
+        try:
+            try:
+                request = json.loads(line)
+                request_id = request.get("id")
+                method = str(request.get("method", ""))
+                if self._auth_token and request.get("auth") != self._auth_token:
+                    raise RpcError(
+                        "unauthorized: request lacks the security-domain token"
+                    )
+                result = await self._router.dispatch(
+                    method, request.get("params", {})
+                )
+                response = {"id": request_id, "result": result}
+            except ThetacryptError as exc:
+                outcome = "error"
+                response = {"id": request_id, "error": str(exc)}
+                reason = getattr(exc, "reason", None)
+                if reason is not None:
+                    response["error_reason"] = reason
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    response["retry_after"] = retry_after
+                details = getattr(exc, "details", None)
+                if details is not None:
+                    try:
+                        json.dumps(details)
+                    except (TypeError, ValueError):
+                        pass
+                    else:
+                        response["error_details"] = details
+            except Exception as exc:  # noqa: BLE001 - report malformed requests
+                logger.exception("router rpc failure")
+                outcome = "internal"
+                response = {"id": request_id, "error": f"internal error: {exc}"}
+        finally:
+            self._metrics.inflight.dec()
+            self._metrics.requests.labels(method or "<unparsed>", outcome).inc()
+            self._metrics.latency.labels(method or "<unparsed>").observe(
+                time.perf_counter() - started
+            )
+        async with write_lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+
+class RouterDaemon:
+    """One router process: a :class:`Router` core behind a listener."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: str = "",
+        metrics_port: int | None = None,
+        name: str = "router",
+    ):
+        self.router = Router(topology, auth_token=auth_token, name=name)
+        self.rpc = RouterRpcServer(self.router, host, port, auth_token=auth_token)
+        self._metrics_http: MetricsHttpServer | None = None
+        if metrics_port is not None:
+            self._metrics_http = MetricsHttpServer(
+                self.router.render_metrics, host, metrics_port
+            )
+
+    @property
+    def rpc_address(self) -> tuple[str, int]:
+        return self.rpc.address
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.address
+
+    async def start(self) -> None:
+        await self.rpc.start()
+        if self._metrics_http is not None:
+            await self._metrics_http.start()
+
+    async def stop(self) -> None:
+        if self._metrics_http is not None:
+            await self._metrics_http.stop()
+        await self.rpc.stop()
+        await self.router.close()
+
+
+async def run_until_signal(daemon: RouterDaemon) -> None:
+    """Start the router and serve until SIGINT/SIGTERM.
+
+    No drain phase on purpose: the router holds no instance state, so
+    tearing it down mid-request is exactly the failure the idempotent
+    retry path is built for.
+    """
+    await daemon.start()
+    host, port = daemon.rpc_address
+    logger.info(
+        "router %r up: rpc on %s:%d, %d groups",
+        daemon.router.name,
+        host,
+        port,
+        len(daemon.router.topology.groups),
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX platforms
+            pass
+    await stop.wait()
+    logger.info("shutting down router %r", daemon.router.name)
+    await daemon.stop()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Run one Thetacrypt router")
+    parser.add_argument(
+        "--topology", required=True, help="federation Topology JSON file"
+    )
+    parser.add_argument("--rpc-host", default="127.0.0.1")
+    parser.add_argument("--rpc-port", type=int, default=0)
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="plain-HTTP Prometheus scrape port (omit to disable)",
+    )
+    parser.add_argument("--auth-token", default="")
+    parser.add_argument("--name", default="router")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    with open(args.topology) as handle:
+        topology = Topology.from_json(handle.read())
+    daemon = RouterDaemon(
+        topology,
+        host=args.rpc_host,
+        port=args.rpc_port,
+        auth_token=args.auth_token,
+        metrics_port=args.metrics_port,
+        name=args.name,
+    )
+    asyncio.run(run_until_signal(daemon))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Consistent hashing from key ids to group ids.
+
+The router tier must agree — across router daemons, client processes, and
+the dealer — on which threshold group owns which key, without any shared
+state beyond the topology descriptor.  A classic consistent-hash ring
+delivers that: each group contributes ``vnodes`` points on a 64-bit ring
+(SHA-256 of ``group_id#replica``, so placement is identical in every
+process — Python's builtin ``hash`` is salted per process and useless
+here), and a key belongs to the first group point at or clockwise after
+the key's own point.
+
+The routing key is the *key id* (``namespace/key_id`` for tenanted keys)
+— the component of :func:`repro.service.node.derive_instance_id`'s inputs
+that determines placement.  Key shares are dealt per group, so every
+request touching one key must land on the same group; hashing
+per-request data would scatter a key's requests across groups that do
+not hold its shares.
+
+Properties (covered by ``tests/test_router.py``):
+
+* **determinism** — same groups + vnodes ⇒ same lookups in any process;
+* **balance** — at 128 vnodes per group, each group owns its fair share
+  of a large keyspace within ±20 %;
+* **minimal movement** — adding/removing a group only moves the keys
+  that change owner to/from that group; assignments between surviving
+  groups never change.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+#: Default virtual-node count per group; 128 keeps the balance of a
+#: handful of groups within ±20 % of fair share.
+DEFAULT_VNODES = 128
+
+
+def ring_point(data: str) -> int:
+    """Deterministic 64-bit ring coordinate of a string."""
+    digest = hashlib.sha256(b"repro-ring\x00" + data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def routing_key(key_id: str) -> str:
+    """The ring input for one request: its (possibly namespaced) key id."""
+    return key_id
+
+
+class HashRing:
+    """Immutable consistent-hash ring over group ids."""
+
+    def __init__(self, group_ids: Iterable[str], vnodes: int = DEFAULT_VNODES):
+        groups = list(group_ids)
+        if not groups:
+            raise ConfigurationError("a hash ring needs at least one group")
+        if len(set(groups)) != len(groups):
+            raise ConfigurationError(f"duplicate group ids: {groups}")
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for group_id in groups:
+            for replica in range(vnodes):
+                points.append((ring_point(f"{group_id}#{replica}"), group_id))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [g for _, g in points]
+        self._groups = tuple(sorted(groups))
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        return self._groups
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def lookup(self, key_id: str) -> str:
+        """The group owning ``key_id``."""
+        point = ring_point(routing_key(key_id))
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def preference(self, key_id: str, count: int) -> list[str]:
+        """The first ``count`` *distinct* groups clockwise from the key.
+
+        Position 0 is the owner; later positions are where the key would
+        move if earlier groups left the ring (useful for placement
+        planning — shares themselves live only on the owner).
+        """
+        point = ring_point(routing_key(key_id))
+        index = bisect.bisect_right(self._points, point)
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(index + offset) % len(self._points)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) >= count:
+                    break
+        return seen
+
+    def with_group(self, group_id: str) -> "HashRing":
+        """A new ring with ``group_id`` added (the old ring is unchanged)."""
+        return HashRing((*self._groups, group_id), vnodes=self._vnodes)
+
+    def without_group(self, group_id: str) -> "HashRing":
+        """A new ring with ``group_id`` removed."""
+        remaining = [g for g in self._groups if g != group_id]
+        return HashRing(remaining, vnodes=self._vnodes)
+
+    def distribution(self, key_ids: Sequence[str]) -> dict[str, int]:
+        """How many of ``key_ids`` each group owns (balance diagnostics)."""
+        counts = {group: 0 for group in self._groups}
+        for key_id in key_ids:
+            counts[self.lookup(key_id)] += 1
+        return counts

@@ -1,0 +1,195 @@
+"""The federation descriptor: groups, endpoints, keyspace ownership.
+
+A :class:`Topology` is to the router tier what ``NodeConfig`` is to one
+node: the complete, serializable start-up picture.  It declares the
+independent threshold groups behind one endpoint (each with its own
+``(threshold, parties)`` shape and member RPC endpoints), the ring
+geometry (``vnodes``), and any keys *pinned* to a specific group
+(``assignments`` — everything else is placed by the consistent-hash
+ring, see :mod:`repro.router.ring`).
+
+Key ids may be namespaced per tenant as ``namespace/key_id``; the whole
+string is the routing key, so each tenant's keys spread independently
+over the federation.
+
+JSON round-trip mirrors ``NodeConfig`` (``to_json``/``from_json``), and
+the same document drives the router daemon (``--topology``), the dealer
+(``tools/deal_keys.py --topology``), topology-aware clients, and the
+nodes' own ``wrong_group`` redirects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from .ring import DEFAULT_VNODES, HashRing
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One independent threshold group of the federation.
+
+    Member RPC endpoints come from ``members`` (explicit
+    ``(node_id, host, rpc_port)`` triples) when given; otherwise they are
+    derived from ``rpc_base_port`` + node id, matching
+    ``make_local_configs``.  ``base_port`` is the group's P2P listen base
+    — only the dealer needs it (to generate the member ``NodeConfig``
+    files); routing itself uses RPC endpoints only.
+    """
+
+    group_id: str
+    parties: int
+    threshold: int
+    host: str = "127.0.0.1"
+    base_port: int = 0
+    rpc_base_port: int = 0
+    members: tuple[tuple[int, str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.group_id:
+            raise ConfigurationError("group_id must be non-empty")
+        if self.parties < 1:
+            raise ConfigurationError(
+                f"group {self.group_id!r}: parties must be >= 1"
+            )
+        if not 0 < self.threshold < self.parties:
+            raise ConfigurationError(
+                f"group {self.group_id!r}: threshold {self.threshold} "
+                f"outside 1..{self.parties - 1}"
+            )
+        if self.members and len(self.members) != self.parties:
+            raise ConfigurationError(
+                f"group {self.group_id!r}: {len(self.members)} explicit "
+                f"members for {self.parties} parties"
+            )
+
+    def rpc_endpoints(self) -> dict[int, tuple[str, int]]:
+        """``node_id -> (host, rpc_port)`` for every group member."""
+        if self.members:
+            return {
+                node_id: (host, port) for node_id, host, port in self.members
+            }
+        return {
+            node_id: (self.host, self.rpc_base_port + node_id)
+            for node_id in range(1, self.parties + 1)
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "group_id": self.group_id,
+            "parties": self.parties,
+            "threshold": self.threshold,
+            "host": self.host,
+            "base_port": self.base_port,
+            "rpc_base_port": self.rpc_base_port,
+            "members": [list(member) for member in self.members],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "GroupSpec":
+        data = dict(payload)
+        members = tuple(
+            (int(node_id), str(host), int(port))
+            for node_id, host, port in data.pop("members", ())
+        )
+        return GroupSpec(members=members, **data)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The whole federation: group specs + keyspace ownership rules."""
+
+    groups: tuple[GroupSpec, ...]
+    vnodes: int = DEFAULT_VNODES
+    #: Pinned keys: ``key_id -> group_id`` overrides the ring (e.g. to
+    #: keep one tenant's keys on dedicated hardware).
+    assignments: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigurationError("a topology needs at least one group")
+        ids = [g.group_id for g in self.groups]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate group ids: {ids}")
+        if self.vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {self.vnodes}")
+        for key_id, group_id in self.assignments.items():
+            if group_id not in ids:
+                raise ConfigurationError(
+                    f"key {key_id!r} pinned to unknown group {group_id!r}"
+                )
+
+    @property
+    def group_ids(self) -> tuple[str, ...]:
+        return tuple(g.group_id for g in self.groups)
+
+    def group(self, group_id: str) -> GroupSpec:
+        for spec in self.groups:
+            if spec.group_id == group_id:
+                return spec
+        raise ConfigurationError(f"unknown group {group_id!r}")
+
+    def ring(self) -> HashRing:
+        return HashRing(self.group_ids, vnodes=self.vnodes)
+
+    def owner_of(self, key_id: str) -> str:
+        """The group owning ``key_id``: pinned assignment, else the ring."""
+        pinned = self.assignments.get(key_id)
+        if pinned is not None:
+            return pinned
+        return self.ring().lookup(key_id)
+
+    def partition_keys(self, key_ids) -> dict[str, list[str]]:
+        """``group_id -> [key_id, ...]`` — the dealer's disjoint split."""
+        owned: dict[str, list[str]] = {g: [] for g in self.group_ids}
+        for key_id in key_ids:
+            owned[self.owner_of(key_id)].append(key_id)
+        return owned
+
+    def with_members(
+        self, members: Mapping[str, Mapping[int, tuple[str, int]]]
+    ) -> "Topology":
+        """Copy with explicit member endpoints (e.g. live ephemeral ports)."""
+        groups = []
+        for spec in self.groups:
+            endpoints = members.get(spec.group_id)
+            if endpoints is None:
+                groups.append(spec)
+                continue
+            groups.append(
+                replace(
+                    spec,
+                    members=tuple(
+                        (node_id, host, port)
+                        for node_id, (host, port) in sorted(endpoints.items())
+                    ),
+                )
+            )
+        return replace(self, groups=tuple(groups))
+
+    # -- serialization (router daemon / dealer / NodeConfig embedding) -----
+
+    def to_dict(self) -> dict:
+        return {
+            "groups": [g.to_dict() for g in self.groups],
+            "vnodes": self.vnodes,
+            "assignments": dict(self.assignments),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Topology":
+        data = dict(payload)
+        groups = tuple(
+            GroupSpec.from_dict(g) for g in data.pop("groups", ())
+        )
+        return Topology(groups=groups, **data)
+
+    @staticmethod
+    def from_json(text: str) -> "Topology":
+        return Topology.from_dict(json.loads(text))

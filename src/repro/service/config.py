@@ -7,6 +7,7 @@ from dataclasses import asdict, dataclass, field
 
 from ..errors import ConfigurationError
 from ..network.faults import FaultPlan
+from ..router.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,15 @@ class NodeConfig:
     # tasks arriving within it coalesce into one batched worker task.
     # 0 disables coalescing.
     coalesce_window: float = 0.002
+    # Federation (docs/federation.md): which threshold group this node
+    # belongs to ("" = the unsharded single-group deployment) and the
+    # federation topology it should consult to redirect misrouted
+    # requests.  With both set, a request for a key owned by another
+    # group fails fast with a structured ``wrong_group`` error carrying
+    # the owning group and its endpoints instead of an opaque
+    # unknown-key failure.
+    group_id: str = ""
+    topology: Topology | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -116,6 +126,15 @@ class NodeConfig:
                 f"coalesce_window must be >= 0 (0 disables coalescing), "
                 f"got {self.coalesce_window}"
             )
+        if self.topology is not None and self.group_id:
+            # A node claiming federation membership must exist in the
+            # topology it redirects against, or every redirect it emits
+            # would name groups that cannot include it.
+            if self.group_id not in self.topology.group_ids:
+                raise ConfigurationError(
+                    f"group_id {self.group_id!r} not in topology groups "
+                    f"{self.topology.group_ids}"
+                )
 
     def peer_map(self) -> dict[int, tuple[str, int]]:
         return {
@@ -129,6 +148,8 @@ class NodeConfig:
         payload["peers"] = [asdict(p) for p in self.peers]
         if self.fault_plan is not None:
             payload["fault_plan"] = self.fault_plan.to_dict()
+        if self.topology is not None:
+            payload["topology"] = self.topology.to_dict()
         return json.dumps(payload, indent=2)
 
     @staticmethod
@@ -138,8 +159,16 @@ class NodeConfig:
         fanout = payload.pop("gossip_fanout", None)
         plan_payload = payload.pop("fault_plan", None)
         plan = FaultPlan.from_dict(plan_payload) if plan_payload else None
+        topology_payload = payload.pop("topology", None)
+        topology = (
+            Topology.from_dict(topology_payload) if topology_payload else None
+        )
         return NodeConfig(
-            peers=peers, gossip_fanout=fanout, fault_plan=plan, **payload
+            peers=peers,
+            gossip_fanout=fanout,
+            fault_plan=plan,
+            topology=topology,
+            **payload,
         )
 
     def with_auth(self, token: str) -> "NodeConfig":

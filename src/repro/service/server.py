@@ -141,6 +141,21 @@ class RpcServer:
                 retry_after = getattr(exc, "retry_after", None)
                 if retry_after is not None:
                     response["retry_after"] = retry_after
+                # Generic structured payload (no field allowlist): e.g. a
+                # wrong_group redirect's owning group + endpoints.  Must
+                # be JSON-serializable; anything else is dropped rather
+                # than failing the error response itself.
+                details = getattr(exc, "details", None)
+                if details is not None:
+                    try:
+                        json.dumps(details)
+                    except (TypeError, ValueError):
+                        logger.warning(
+                            "dropping non-serializable error details for %s",
+                            method,
+                        )
+                    else:
+                        response["error_details"] = details
             except Exception as exc:  # noqa: BLE001 - report malformed requests
                 logger.exception("rpc failure")
                 outcome = "internal"

@@ -16,8 +16,10 @@ from .instruments import (
     CoreMetrics,
     CryptoPoolMetrics,
     EventLoopLagSampler,
+    RouterMetrics,
     RpcMetrics,
     StorageMetrics,
+    client_redirects_counter,
     crypto_cache_snapshot,
     register_crypto_cache_collector,
 )
@@ -52,6 +54,7 @@ __all__ = [
     "MetricFamily",
     "MetricRegistry",
     "MetricsHttpServer",
+    "RouterMetrics",
     "RpcMetrics",
     "Sample",
     "StorageMetrics",
@@ -60,6 +63,7 @@ __all__ = [
     "TraceContext",
     "TraceEvent",
     "adopt_trace",
+    "client_redirects_counter",
     "counter",
     "crypto_cache_snapshot",
     "current_trace",

