@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-fast bench-smoke check metrics-smoke chaos-smoke recovery-smoke offload-smoke federation-smoke examples fixtures clean
+.PHONY: install test test-fast bench bench-fast bench-smoke check metrics-smoke chaos-smoke recovery-smoke offload-smoke federation-smoke precompute-smoke examples fixtures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) tools/install_editable.py
@@ -64,6 +64,15 @@ offload-smoke:
 # (docs/federation.md).  No orphaned processes after SIGTERM.
 federation-smoke:
 	PYTHONPATH=src $(PYTHON) tools/federation_smoke.py
+
+# Precompute gate: 2 daemons with --precompute-depth 8 and journal-backed
+# pools.  Announced ciphertexts must be staged on every node and served
+# from the pool (repro_precompute_served_total{source="pool"} scraped),
+# an unannounced decrypt must fall back inline, and both daemons must
+# exit cleanly on SIGTERM — the refill loop cannot pin shutdown
+# (docs/performance.md, "Precompute pipeline").
+precompute-smoke:
+	PYTHONPATH=src $(PYTHON) tools/precompute_smoke.py
 
 # Workers-on/off ablation on the real asyncio service (pooled run under
 # the adaptive policy), persisted machine-readably to BENCH_offload.json

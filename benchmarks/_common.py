@@ -19,6 +19,25 @@ def fast_mode() -> bool:
     return FAST
 
 
+def host_cores() -> int:
+    return os.cpu_count() or 1
+
+
+def requires_cores(n: int) -> bool:
+    """Host gate for performance assertions that need real parallelism.
+
+    The correctness half of every benchmark runs everywhere; the
+    throughput/latency claims only hold with enough cores (event loop +
+    workers).  Returns True when the host qualifies, and prints the skip
+    so a gated run is visible in the log rather than silently green.
+    """
+    cores = host_cores()
+    if cores >= n:
+        return True
+    print(f"[gate] host has {cores} cores < {n}: performance asserts skipped")
+    return False
+
+
 def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:
     widths = [
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows))

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import os
 import platform
 import time
 from pathlib import Path
@@ -32,7 +31,7 @@ import pytest
 from repro.router.federation import FederatedCluster
 from repro.schemes import generate_keys
 
-from _common import fast_mode, print_table
+from _common import fast_mode, host_cores, print_table, requires_cores
 
 OUT = Path(__file__).resolve().parent.parent / "BENCH_federation.json"
 
@@ -152,7 +151,7 @@ def test_federation_scaling(benchmark):
     """3-group aggregate vs 1-group baseline through a router."""
     requests = 2 if fast_mode() else 6
     concurrency = 2 if fast_mode() else 4
-    cores = os.cpu_count() or 1
+    cores = host_cores()
     # Worker pools only help with spare cores; on small hosts they cost
     # throughput, so the bench (like a real deployment) keeps crypto
     # inline there and records an unscaled, GIL-bound comparison.
@@ -234,8 +233,8 @@ def test_federation_scaling(benchmark):
     }
 
     # The scale-out claim needs real parallelism: one core per group's
-    # crypto worker plus the shared event loop (fig4-style host gate).
-    if cores >= 4:
+    # crypto worker plus the shared event loop.
+    if requires_cores(4):
         assert speedup >= 2.2, (
             f"3-group federation {federated['ops_per_sec']:.2f} ops/s is only "
             f"{speedup:.2f}x the single group's "

@@ -25,7 +25,7 @@ from repro.sim.metrics import find_knee
 from repro.sim.plotting import scatter_plot
 from repro.workers.harness import run_ablation
 
-from _common import fast_mode, ms, print_table
+from _common import fast_mode, host_cores, ms, print_table, requires_cores
 
 SCHEMES = ["sg02", "cks05", "kg20", "bls04", "bz03", "sh00"]
 
@@ -199,7 +199,7 @@ def test_fig4_offload_ablation(benchmark):
         rows,
     )
 
-    cores = os.cpu_count() or 1
+    cores = host_cores()
     policy = on.pool.get("policy", {})
     if cores >= 2:
         # Multi-core correctness: the pooled run really offloaded (tasks
@@ -223,7 +223,7 @@ def test_fig4_offload_ablation(benchmark):
     # The performance claims need real parallelism: with fewer cores than
     # event loop + workers, offload only buys loop responsiveness, not
     # wall-clock throughput.
-    if cores >= 4:
+    if requires_cores(4):
         assert on.ops_per_sec >= 1.5 * off.ops_per_sec, (
             f"workers-on {on.ops_per_sec:.2f} ops/s < 1.5x "
             f"workers-off {off.ops_per_sec:.2f} ops/s"

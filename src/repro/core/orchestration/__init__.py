@@ -9,12 +9,22 @@ from .instance import InstanceRecord, InstanceStatus
 from .keymanager import KeyEntry, KeyManager
 from .executor import ProtocolExecutor
 from .manager import InstanceManager
+from .precompute import (
+    PrecomputeConfig,
+    PrecomputeJob,
+    PrecomputeService,
+    derive_instance_id,
+)
 
 __all__ = [
     "InstanceRecord",
     "InstanceStatus",
     "KeyEntry",
     "KeyManager",
+    "PrecomputeConfig",
+    "PrecomputeJob",
+    "PrecomputeService",
     "ProtocolExecutor",
     "InstanceManager",
+    "derive_instance_id",
 ]

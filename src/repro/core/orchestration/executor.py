@@ -208,7 +208,17 @@ class ProtocolExecutor:
 
     async def _run_inner(self) -> None:
         self._round_started = time.perf_counter()
-        await self._send_round(await self._compute_round())
+        # Precomputed material staged on the protocol (a pooled share, a
+        # FROST nonce set) replaces the first round's crypto entirely; the
+        # on-demand path below stays the fallback when nothing was staged.
+        first: list[ProtocolMessage] | None = None
+        if self.protocol.supports_precompute:
+            first = self.protocol.consume_precomputed()
+            if first is not None:
+                self.trace.event("precomputed", round=self.protocol.round)
+        if first is None:
+            first = await self._compute_round()
+        await self._send_round(first)
         while True:
             if self.protocol.is_ready_to_finalize():
                 self._close_round()

@@ -29,6 +29,7 @@ class NonInteractiveProtocol(ThresholdRoundProtocol):
         self._operation = operation
         self._channel = channel
         self._started = False
+        self._precomputed: bytes | None = None
 
     def do_round(self) -> list[ProtocolMessage]:
         if self._started:
@@ -91,6 +92,31 @@ class NonInteractiveProtocol(ThresholdRoundProtocol):
                 payload=payload,
             )
         ]
+
+    # -- precompute pipeline (repro.core.orchestration.precompute) -----------
+    #
+    # The single round is a pure function of the request, so its payload
+    # can be created ahead of demand and staged here; consuming it is
+    # exactly the offload apply path (admit the pre-made own share and
+    # broadcast it), with zero crypto at request time.
+
+    @property
+    def supports_precompute(self) -> bool:
+        return True
+
+    def stage_precomputed(self, entry) -> None:
+        if self._started:
+            raise ProtocolError(
+                f"instance {self.instance_id}: cannot stage a precomputed "
+                "share after the round ran"
+            )
+        self._precomputed = bytes(entry)
+
+    def consume_precomputed(self) -> list[ProtocolMessage] | None:
+        if self._precomputed is None or self._started:
+            return None
+        payload, self._precomputed = self._precomputed, None
+        return self.apply_round(payload)
 
     def offload_verify(self, payloads: list[bytes]):
         spec = self._operation.offload_spec()

@@ -110,6 +110,36 @@ class ThresholdRoundProtocol(ABC):
             f"instance {self.instance_id}: protocol does not offload verification"
         )
 
+    # -- optional precompute hooks -------------------------------------------
+    #
+    # A protocol whose first round can be materialized ahead of the request
+    # (a presignature, a decryption share for an announced ciphertext, a
+    # FROST nonce/commitment set) overrides these; the node stages the
+    # pooled entry on the protocol at submission time and the executor
+    # consumes it instead of computing round 0.  The defaults keep every
+    # protocol on the on-demand path.
+
+    @property
+    def supports_precompute(self) -> bool:
+        """True when this protocol accepts pre-staged round material."""
+        return False
+
+    def stage_precomputed(self, entry) -> None:
+        """Install a pooled entry (shape is protocol-specific) before run().
+
+        Must be called at most once, before the first round ran; the entry
+        is consumed exactly once by :meth:`consume_precomputed`.
+        """
+        raise ProtocolError(
+            f"instance {self.instance_id}: protocol does not precompute"
+        )
+
+    def consume_precomputed(self) -> list[ProtocolMessage] | None:
+        """Fold the staged entry into local state and return the messages
+        the precomputed round would have sent, or None to fall back to the
+        on-demand :meth:`do_round` path (nothing staged, or already run)."""
+        return None
+
     # -- shared bookkeeping --------------------------------------------------
 
     def advance_round(self) -> None:

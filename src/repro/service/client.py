@@ -426,16 +426,37 @@ class ThetacryptClient:
         )
         return bool(result["valid"])
 
-    async def precompute(self, key_id: str, count: int) -> dict[int, dict]:
+    async def precompute(
+        self,
+        key_id: str,
+        count: int | None = None,
+        items: list[bytes] | None = None,
+        label: bytes = b"",
+    ) -> dict[int, dict]:
+        """Fill this key's precompute pools on every node.
+
+        ``count=N`` runs the kg20 nonce preprocessing round; ``items``
+        announces upcoming request payloads (ciphertexts to decrypt,
+        messages to sign, coin names) so the nodes stage — and with eager
+        pipelining, fully execute — them ahead of demand.
+        """
+        if (count is None) == (items is None):
+            raise RpcError("precompute takes exactly one of count / items")
         if self._topology is not None:
             return await self._routed(
                 key_id,
-                lambda c: c.precompute(key_id, count),
+                lambda c: c.precompute(key_id, count, items, label),
                 idempotent=True,
             )
-        return await self.broadcast(
-            "precompute", {"key_id": key_id, "count": count}
-        )
+        if items is not None:
+            params = {
+                "key_id": key_id,
+                "items": [hexlify(item) for item in items],
+                "label": hexlify(label),
+            }
+        else:
+            params = {"key_id": key_id, "count": count}
+        return await self.broadcast("precompute", params)
 
     async def refresh_key(self, key_id: str) -> bytes:
         """Proactive refresh on every node; returns the unchanged group key."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
+from ..core.orchestration.precompute import PrecomputeConfig
 from ..errors import ConfigurationError
 from ..network.faults import FaultPlan
 from ..router.topology import Topology
@@ -85,6 +86,11 @@ class NodeConfig:
     # unknown-key failure.
     group_id: str = ""
     topology: Topology | None = None
+    # Precompute pipeline (docs/performance.md, "Precompute pipeline"):
+    # announce/refill/consume share pools that hide threshold latency for
+    # announced requests.  None keeps the node strictly on-demand (the
+    # pre-pipeline behaviour); kg20 nonce pools work either way.
+    precompute: PrecomputeConfig | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.node_id <= self.parties:
@@ -150,6 +156,8 @@ class NodeConfig:
             payload["fault_plan"] = self.fault_plan.to_dict()
         if self.topology is not None:
             payload["topology"] = self.topology.to_dict()
+        if self.precompute is not None:
+            payload["precompute"] = self.precompute.to_dict()
         return json.dumps(payload, indent=2)
 
     @staticmethod
@@ -163,11 +171,18 @@ class NodeConfig:
         topology = (
             Topology.from_dict(topology_payload) if topology_payload else None
         )
+        precompute_payload = payload.pop("precompute", None)
+        precompute = (
+            PrecomputeConfig.from_dict(precompute_payload)
+            if precompute_payload
+            else None
+        )
         return NodeConfig(
             peers=peers,
             gossip_fanout=fanout,
             fault_plan=plan,
             topology=topology,
+            precompute=precompute,
             **payload,
         )
 

@@ -18,6 +18,7 @@ import logging
 import signal
 from dataclasses import replace
 
+from ..core.orchestration.precompute import PrecomputeConfig
 from ..schemes.keystore import keystore_from_json
 from .config import NodeConfig
 from .node import ThetacryptNode
@@ -31,15 +32,16 @@ def load_node(
     crypto_workers: int | None = None,
     offload_policy: str | None = None,
     coalesce_window: float | None = None,
+    precompute_depth: int | None = None,
 ) -> ThetacryptNode:
     """Build a node from its on-disk configuration and keystore.
 
     With a ``data_dir`` in the config, the node may already hold (durable)
     keys from a previous life; re-installing identical dealer output is a
     no-op (``install_key`` is idempotent for identical material).
-    ``crypto_workers`` / ``offload_policy`` / ``coalesce_window`` override
-    the config's pool sizing and offload behaviour (the matching CLI
-    flags).
+    ``crypto_workers`` / ``offload_policy`` / ``coalesce_window`` /
+    ``precompute_depth`` override the config's pool sizing, offload
+    behaviour, and precompute pipeline (the matching CLI flags).
     """
     with open(config_path) as handle:
         config = NodeConfig.from_json(handle.read())
@@ -49,6 +51,15 @@ def load_node(
         config = replace(config, offload_policy=offload_policy)
     if coalesce_window is not None:
         config = replace(config, coalesce_window=coalesce_window)
+    if precompute_depth is not None:
+        config = replace(
+            config,
+            precompute=(
+                PrecomputeConfig(depth=precompute_depth)
+                if precompute_depth > 0
+                else None
+            ),
+        )
     node = ThetacryptNode(config)
     with open(keystore_path) as handle:
         shares = keystore_from_json(handle.read())
@@ -134,6 +145,14 @@ def main(argv: list[str] | None = None) -> None:
         help="cross-request batching window in seconds, overriding the "
         "config's coalesce_window (0 disables coalescing)",
     )
+    parser.add_argument(
+        "--precompute-depth",
+        type=int,
+        default=None,
+        help="enable the precompute pipeline with this per-(key, op) pool "
+        "depth, overriding the config's precompute section (0 disables "
+        "the pipeline)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -146,6 +165,7 @@ def main(argv: list[str] | None = None) -> None:
         crypto_workers=args.crypto_workers,
         offload_policy=args.offload_policy,
         coalesce_window=args.coalesce_window,
+        precompute_depth=args.precompute_depth,
     )
     asyncio.run(run_until_signal(node, drain_timeout=args.drain_timeout))
 

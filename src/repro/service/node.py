@@ -10,15 +10,20 @@ instance without extra coordination.
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import logging
 from pathlib import Path
 
 from ..core.messages import Channel
-from ..core.orchestration import InstanceManager, InstanceRecord, KeyManager
+from ..core.orchestration import (
+    InstanceManager,
+    InstanceRecord,
+    KeyManager,
+    PrecomputeJob,
+    PrecomputeService,
+)
+from ..core.orchestration.precompute import derive_instance_id
 from ..core.protocols import (
     DkgProtocol,
-    FrostPrecomputationPool,
     FrostPrecomputeProtocol,
     FrostProtocol,
     NonInteractiveProtocol,
@@ -54,14 +59,12 @@ from .server import RpcServer
 
 logger = logging.getLogger(__name__)
 
+# derive_instance_id moved to core.orchestration.precompute (the pool is
+# keyed by it); re-exported here for its long-standing import path.
+__all__ = ["ThetacryptNode", "derive_instance_id"]
 
-def derive_instance_id(kind: str, key_id: str, data: bytes, label: bytes = b"") -> str:
-    """Deterministic instance id shared by all nodes for the same request."""
-    digest = hashlib.sha256(
-        b"repro-instance" + kind.encode() + b"\x00" + key_id.encode() + b"\x00"
-        + len(label).to_bytes(4, "big") + label + data
-    ).hexdigest()
-    return f"{kind}-{digest[:24]}"
+#: Scheme kind → the protocol-API operation it serves.
+_KIND_TO_OP = {"cipher": "decrypt", "signature": "sign", "coin": "coin"}
 
 
 class ThetacryptNode:
@@ -175,7 +178,26 @@ class ThetacryptNode:
             self._metrics_http = MetricsHttpServer(
                 self.render_metrics, config.rpc_host, config.metrics_port
             )
-        self._frost_pools: dict[str, FrostPrecomputationPool] = {}
+        # Precompute pipeline (docs/performance.md): per-(key, op) share
+        # pools with background refill, consume-once journaling under
+        # data_dir/precompute, and optional eager instance pipelining.
+        # Always constructed — the kg20 nonce pools live in it — but the
+        # announce/refill machinery only runs with config.precompute set.
+        journal_dir = None
+        if (
+            config.data_dir is not None
+            and config.precompute is not None
+            and config.precompute.journal
+        ):
+            journal_dir = Path(config.data_dir) / "precompute"
+        self._precompute = PrecomputeService(
+            config.precompute,
+            registry=self.registry,
+            crypto_pool=self.crypto_pool,
+            journal_dir=journal_dir,
+            active_probe=lambda: self.instances.active_count,
+            submit=self._pipeline_submit,
+        )
         self._refresh_epochs: dict[str, int] = {}
 
     # -- lifecycle ------------------------------------------------------------
@@ -187,6 +209,7 @@ class ThetacryptNode:
         if self._metrics_http is not None:
             await self._metrics_http.start()
         self._lag_sampler.start()
+        self._precompute.start()
 
     def _recover(self) -> None:
         """Crash recovery from ``data_dir`` (no-op for memory-only nodes).
@@ -265,6 +288,10 @@ class ThetacryptNode:
 
     async def stop(self) -> None:
         await self._lag_sampler.stop()
+        # Refill/eager tasks submit instances: stop them before the
+        # instance manager shuts down (also flushes + closes the pool
+        # journal, so every consumption taken so far is durable).
+        await self._precompute.stop()
         if self._metrics_http is not None:
             await self._metrics_http.stop()
         await self.rpc.stop()
@@ -376,22 +403,38 @@ class ThetacryptNode:
         return Channel.P2P
 
     def submit_request(
-        self, kind: str, key_id: str, data: bytes, label: bytes = b""
+        self,
+        kind: str,
+        key_id: str,
+        data: bytes,
+        label: bytes = b"",
+        _pipeline: bool = False,
     ) -> InstanceRecord:
-        """Start (idempotently) the protocol instance for a request."""
+        """Start (idempotently) the protocol instance for a request.
+
+        Precomputed material staged for this exact request (same
+        deterministic instance id) is consumed here — once, ever — and
+        installed on the protocol via the TRI precompute hooks; the
+        executor then skips the first round's crypto.  ``_pipeline``
+        marks the pipeline's own eager submissions, which consume pool
+        entries but are not client-visible requests (no served counter).
+        """
         entry = self.lookup_key(key_id)
         instance_id = derive_instance_id(kind, key_id, data, label)
+        source = "inline"
         if entry.scheme == "kg20":
             if kind != "sign":
                 raise RpcError("kg20 keys only support signing")
-            pool = self._frost_pools.get(key_id)
             protocol = FrostProtocol(
                 instance_id,
                 entry.key_share,
                 data,
                 channel=self._channel_for("kg20"),
-                pool=pool if pool is not None and pool.available else None,
             )
+            staged = self._precompute.take_frost(key_id)
+            if staged is not None:
+                protocol.stage_precomputed(staged)
+                source = "pool"
         else:
             operation = make_operation(
                 entry.scheme,
@@ -405,7 +448,25 @@ class ThetacryptNode:
                 operation,
                 channel=self._channel_for(entry.scheme),
             )
-        return self.instances.start_instance(protocol, entry.scheme)
+            payload = self._precompute.take(instance_id)
+            if payload is not None:
+                protocol.stage_precomputed(payload)
+                source = "pool"
+            elif self._precompute.was_pipelined(instance_id):
+                # The announce already ran (or finished) this instance
+                # ahead of demand; the request folds into it below.
+                source = "pool"
+        record = self.instances.start_instance(protocol, entry.scheme)
+        if self._precompute.enabled and not _pipeline:
+            self._precompute.record_served(kind, source)
+        return record
+
+    def _pipeline_submit(self, kind: str, key_id: str, data: bytes, label: bytes):
+        """Eager-start callback for the precompute service: submit the
+        announced request's instance now and hand back its result
+        awaitable (the service tracks completion for pacing)."""
+        record = self.submit_request(kind, key_id, data, label, _pipeline=True)
+        return self.instances.result(record.instance_id)
 
     async def run_request(
         self, kind: str, key_id: str, data: bytes, label: bytes = b""
@@ -419,7 +480,7 @@ class ThetacryptNode:
         entry = self.lookup_key(key_id)
         if entry.scheme != "kg20":
             raise RpcError("precomputation only applies to kg20 keys")
-        pool = self._frost_pools.setdefault(key_id, FrostPrecomputationPool())
+        pool = self._precompute.frost_pool(key_id)
         instance_id = derive_instance_id(
             "frost-pre", key_id, count.to_bytes(4, "big")
         )
@@ -432,7 +493,58 @@ class ThetacryptNode:
         )
         record = self.instances.start_instance(protocol, "kg20")
         await self.instances.result(record.instance_id)
+        self._precompute.note_frost_depth(key_id)
         return pool.available
+
+    async def precompute_requests(
+        self, key_id: str, items: list[bytes], label: bytes = b""
+    ) -> dict:
+        """Announce upcoming requests; stage their shares ahead of demand.
+
+        Every node must receive the same announce (the client broadcasts
+        it) so all pools hold material for the same instance ids.  Returns
+        the staging tally (``staged`` / ``duplicate`` / ``deferred`` /
+        ``failed`` counts plus per-pool depths).
+        """
+        entry = self.lookup_key(key_id)
+        if entry.scheme == "kg20":
+            raise RpcError(
+                "kg20 precomputes nonce batches: call precompute with "
+                "count=N, not items",
+                reason="precompute_kind",
+            )
+        if not self._precompute.enabled:
+            raise RpcError(
+                "precompute pipeline disabled on this node (set "
+                "NodeConfig.precompute / --precompute-depth)",
+                reason="precompute_disabled",
+            )
+        kind = _KIND_TO_OP[entry.kind]
+        jobs = []
+        for data in items:
+            # Bind per-item via default args; the factory runs in the
+            # refill loop (announce handling must stay cheap, the
+            # operation construction parses ciphertexts).
+            def build(data=data, entry=entry):
+                return make_operation(
+                    entry.scheme,
+                    entry.public_key,
+                    entry.key_share,
+                    OperationRequest(kind, data, label),
+                )
+
+            jobs.append(
+                PrecomputeJob(
+                    instance_id=derive_instance_id(kind, key_id, data, label),
+                    key_id=key_id,
+                    kind=kind,
+                    data=data,
+                    label=label,
+                    operation_factory=build,
+                    scheme=entry.scheme,
+                )
+            )
+        return await self._precompute.warm(jobs)
 
     async def run_dkg(
         self, key_id: str, scheme: str = "cks05", group_name: str = "ed25519"
@@ -609,6 +721,10 @@ class ThetacryptNode:
             # counters, fallbacks, crashes, live worker pids, the adaptive
             # policy's decisions/EWMAs, and cross-request coalescing.
             "crypto_pool": self._pool_stats(),
+            # Precompute pipeline (docs/performance.md): per-pool staged
+            # depths, refill queue/outcomes, served-source counters, and
+            # kg20 nonce availability.
+            "precompute": self._precompute.stats(),
             # Scheduling-delay digest from the heartbeat histogram: the
             # before/after metric for moving crypto off the event loop.
             "event_loop_lag": dict(

@@ -212,6 +212,16 @@ class RpcServer:
             group_key = await node.refresh_key(params["key_id"])
             return {"group_key": group_key}
         if method == "precompute":
+            # Two families behind one method: kg20 nonce batches (count=N,
+            # the original API) and the generic announce of upcoming
+            # requests (items=[hex, ...]) that stages shares per instance.
+            if "items" in params:
+                report = await node.precompute_requests(
+                    params["key_id"],
+                    [unhexlify(item) for item in params["items"]],
+                    unhexlify(params.get("label", "")),
+                )
+                return report
             available = await node.precompute_frost(
                 params["key_id"], int(params["count"])
             )

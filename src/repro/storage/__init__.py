@@ -19,12 +19,15 @@ from .atomic import (
     write_versioned,
 )
 from .durable_keystore import DurableKeystore
+from .pool_journal import PoolJournal, StagedEntry
 from .results import DurableResultCache
 from .wal import WriteAheadLog
 
 __all__ = [
     "DurableKeystore",
     "DurableResultCache",
+    "PoolJournal",
+    "StagedEntry",
     "WriteAheadLog",
     "atomic_write_bytes",
     "fsync_directory",

@@ -16,6 +16,7 @@ from .instruments import (
     CoreMetrics,
     CryptoPoolMetrics,
     EventLoopLagSampler,
+    PrecomputeMetrics,
     RouterMetrics,
     RpcMetrics,
     StorageMetrics,
@@ -50,6 +51,7 @@ __all__ = [
     "CoreMetrics",
     "CryptoPoolMetrics",
     "EventLoopLagSampler",
+    "PrecomputeMetrics",
     "DEFAULT_BUCKETS",
     "MetricFamily",
     "MetricRegistry",

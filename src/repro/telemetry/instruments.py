@@ -257,6 +257,44 @@ class CryptoPoolMetrics:
         )
 
 
+class PrecomputeMetrics:
+    """Precompute-pipeline instruments (held by
+    :class:`repro.core.orchestration.precompute.PrecomputeService`).
+
+    ``source`` taxonomy of ``repro_precompute_served_total``: ``pool`` (the
+    request consumed staged material — a pooled share or an eagerly
+    pipelined instance), ``inline`` (nothing staged; the on-demand path
+    ran).  ``outcome`` taxonomy of ``repro_precompute_refills_total``:
+    ``ok`` / ``error`` / ``deferred`` (announce beyond the pool depth).
+    """
+
+    def __init__(self, registry: MetricRegistry):
+        self.depth = registry.gauge(
+            "repro_precompute_pool_depth",
+            "Staged-but-unconsumed precompute entries per key and "
+            "operation (kg20 nonce sets report op=\"kg20-nonce\").",
+            ("key", "op"),
+        )
+        self.served = registry.counter(
+            "repro_precompute_served_total",
+            "Client requests by operation and serving source "
+            "(pool / inline).",
+            ("op", "source"),
+        )
+        self.refill_seconds = registry.histogram(
+            "repro_precompute_refill_seconds",
+            "Latency of one background refill (announce to staged), by "
+            "operation.",
+            ("op",),
+        )
+        self.refills = registry.counter(
+            "repro_precompute_refills_total",
+            "Background refill jobs by operation and outcome "
+            "(ok / error / deferred).",
+            ("op", "outcome"),
+        )
+
+
 class RouterMetrics:
     """Front-end router instruments (held by :class:`repro.router.core.Router`).
 

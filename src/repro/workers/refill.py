@@ -1,0 +1,30 @@
+"""Pool-refill task for the precompute pipeline.
+
+One worker task creates a whole batch of own-share payloads from their
+offload specs, so an announce of N upcoming requests costs one process
+round-trip instead of N.  Key material rides the content-addressed blob
+protocol of :mod:`repro.workers.tasks` (``blobs`` is the one-shot retry
+attachment after a worker-side cache miss); misses are raised for the
+whole batch up front so the pool's single retry re-runs it complete.
+"""
+
+from __future__ import annotations
+
+from .tasks import (
+    BlobCacheMissError,
+    _missing_digests,
+    create_share,
+    install_blob,
+)
+
+
+def refill_shares(specs: list[dict], blobs: dict | None = None) -> list[bytes]:
+    """Create the own-share payload for each spec, in announce order."""
+    if blobs:
+        install_blob(list(blobs.items()))
+    missing: set[str] = set()
+    for spec in specs:
+        missing.update(_missing_digests(spec, include_share=True))
+    if missing:
+        raise BlobCacheMissError(sorted(missing))
+    return [create_share(spec) for spec in specs]

@@ -20,6 +20,7 @@ from dataclasses import replace
 
 import pytest
 
+from repro.core.orchestration.precompute import PrecomputeConfig
 from repro.errors import RpcError
 from repro.network.faults import Crash, FaultPlan, LinkFaults, Partition
 from repro.network.local import LocalHub
@@ -184,6 +185,149 @@ class TestStructuredAborts:
                 assert nodes[0].stats()["aborts"].get("byzantine_detected", 0) >= 1
             finally:
                 await _teardown(nodes, client)
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.integration
+class TestPrecomputeUnderChaos:
+    """The precompute pipeline against the chaos machinery: a warm pool
+    must keep serving through a seeded crash window, and a real restart
+    over the pool journal must keep both invariants — the structured
+    ``crash_recovery`` abort for in-flight instances AND consume-once for
+    pool entries taken before the crash."""
+
+    def test_warm_pool_serves_through_crash_window_and_restart(
+        self, all_keys, tmp_path
+    ):
+        async def scenario():
+            # Node 4 is crash-windowed by a seeded plan: silent from the
+            # start, back after 0.6s of fault-clock time.
+            plan = FaultPlan(seed=41, crashes=(Crash(node=4, at=0.0, recover=0.6),))
+            configs = [
+                replace(c, data_dir=str(tmp_path / f"node{c.node_id}"))
+                for c in make_local_configs(
+                    4,
+                    1,
+                    transport="local",
+                    rpc_base_port=0,
+                    fault_plan=plan,
+                    precompute=PrecomputeConfig(depth=4, eager=False),
+                    instance_timeout=10.0,
+                )
+            ]
+            hub = LocalHub(latency=lambda a, b: 0.001)
+            nodes = []
+            for config in configs:
+                node = ThetacryptNode(config, transport=hub.endpoint(config.node_id))
+                for key_id, km in all_keys.items():
+                    node.install_key(
+                        key_id,
+                        km.scheme,
+                        km.public_key,
+                        km.share_for(config.node_id),
+                    )
+                await node.start()
+                nodes.append(node)
+            client = ThetacryptClient(
+                {n.config.node_id: n.rpc_address for n in nodes}
+            )
+            try:
+                # Warm the pools everywhere.  RPC is unaffected by the
+                # transport-level crash, so node 4 stages (and journals)
+                # its share even while its network is dark.
+                windowed = await client.encrypt("sg02", b"during the window", b"")
+                survivor = await client.encrypt("sg02", b"after the restart", b"")
+                reports = await client.precompute(
+                    "sg02", items=[windowed, survivor]
+                )
+                assert all(r["staged"] == 2 for r in reports.values())
+
+                # Mid-window request: t=1 tolerates the crashed node, and
+                # the three live nodes serve from their warm pools.
+                plaintext = await client.decrypt("sg02", windowed)
+                assert plaintext == b"during the window"
+                assert (
+                    nodes[0]
+                    .stats()["precompute"]["served"]
+                    .get("decrypt/pool", 0)
+                    == 1
+                )
+                # The fan-out reached node 4's RPC too: wait for it to
+                # consume its windowed entry (journaled at submit) so the
+                # post-restart ledger is deterministic.
+                for _ in range(200):
+                    staged = nodes[3].stats()["precompute"]["staged"]
+                    if staged.get("sg02/decrypt", 0) == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert (
+                    nodes[3].stats()["precompute"]["staged"]["sg02/decrypt"] == 1
+                )
+
+                # One instance in flight on node 4 only, then "kill -9".
+                pending = b"in flight at the crash"
+                pending_id = derive_instance_id("sign", "bls04", pending, b"")
+                submit = asyncio.ensure_future(
+                    client.call(
+                        4, "sign", {"key_id": "bls04", "data": hexlify(pending)}
+                    )
+                )
+                for _ in range(200):
+                    if pending_id in nodes[3].instances._records:
+                        break
+                    await asyncio.sleep(0.01)
+                await nodes[3].stop()
+                submit.cancel()
+                await asyncio.gather(submit, return_exceptions=True)
+
+                # Fresh life over the same data_dir (no fault plan this
+                # time: the window is over).
+                reborn_config = replace(configs[3], fault_plan=None)
+                reborn = ThetacryptNode(reborn_config, transport=hub.endpoint(4))
+                for key_id, km in all_keys.items():
+                    reborn.install_key(
+                        key_id, km.scheme, km.public_key, km.share_for(4)
+                    )
+                await reborn.start()
+                nodes[3] = reborn
+
+                # Structured crash_recovery abort is still correct with a
+                # warm pool in play.
+                assert reborn.stats()["aborts"].get("crash_recovery", 0) >= 1
+
+                # Pool journal replay: the windowed entry — consumed at
+                # submit time, before node 4 died — must NOT be restored;
+                # the untouched survivor must be.
+                restored = reborn.stats()["precompute"]
+                assert restored["staged"].get("sg02/decrypt", 0) == 1
+                assert restored["restored"] == 1
+
+                await client.close()
+                client2 = ThetacryptClient(
+                    {n.config.node_id: n.rpc_address for n in nodes}
+                )
+                try:
+                    # The restored entry serves the announced request; the
+                    # consumed one is gone for good (the same request is a
+                    # duplicate answered from the durable result cache).
+                    assert (
+                        await client2.decrypt("sg02", survivor)
+                        == b"after the restart"
+                    )
+                    assert (
+                        reborn.stats()["precompute"]["served"].get(
+                            "decrypt/pool", 0
+                        )
+                        == 1
+                    )
+                    assert reborn.stats()["precompute"]["staged"] == {}
+                finally:
+                    await client2.close()
+                    client2 = None
+            finally:
+                for node in nodes:
+                    await node.stop()
 
         asyncio.run(scenario())
 

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Precompute pipeline smoke gate (``make precompute-smoke``).
+
+The docs/performance.md "Precompute pipeline" contract, exercised end to
+end on real daemon processes:
+
+* deal SG02 keys for a 2-node (t = 1) TCP cluster and start both daemons
+  with ``--precompute-depth 8`` — the announce/refill/consume pipeline
+  plus eager instance pipelining, per-node data dirs for the pool journal;
+* announce two upcoming ciphertexts over the ``precompute`` RPC (every
+  node must report them staged), then decrypt them: both must resolve
+  correctly and the Prometheus scrape must count them as
+  ``repro_precompute_served_total{op="decrypt",source="pool"}``;
+* decrypt one *unannounced* ciphertext: correct result, counted under
+  ``source="inline"`` — exhaustion degrades to the on-demand path;
+* the per-(key, op) depth gauge and refill histogram must appear in the
+  scrape, and ``node_stats`` must report the pipeline enabled;
+* SIGTERM both daemons and assert clean exit with nothing orphaned —
+  the refill loop must not pin the process past shutdown.
+
+Exit status 0 on success; prints the offending assertion otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if __package__ is None and __name__ == "__main__":  # pragma: no cover
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import RpcError  # noqa: E402
+from repro.service.client import ThetacryptClient  # noqa: E402
+from repro.telemetry import parse_text  # noqa: E402
+
+PARTIES, THRESHOLD = 2, 1
+PRECOMPUTE_DEPTH = 8
+# Distinct from the other smoke gates' port ranges so they can run back
+# to back (TIME_WAIT) or even concurrently.
+BASE_PORT, RPC_BASE_PORT = 22500, 22600
+
+#: Environment for child processes: the daemons import ``repro`` from src.
+CHILD_ENV = dict(
+    os.environ,
+    PYTHONPATH=str(REPO / "src") + os.pathsep + os.environ.get("PYTHONPATH", ""),
+)
+
+
+def spawn_daemon(out: Path, node_id: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.daemon",
+            "--config", str(out / f"node{node_id}" / "config.json"),
+            "--keystore", str(out / f"node{node_id}" / "keystore.json"),
+            "--precompute-depth", str(PRECOMPUTE_DEPTH),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=CHILD_ENV,
+    )
+
+
+async def wait_for_ping(client: ThetacryptClient, node_id: int) -> None:
+    for _ in range(150):
+        try:
+            await client.call(node_id, "ping", {})
+            return
+        except (OSError, RpcError):
+            await asyncio.sleep(0.2)
+    raise AssertionError(f"daemon {node_id} never answered ping")
+
+
+def _counter(parsed: dict, name: str, **labels: str) -> float:
+    return sum(
+        value
+        for (metric, metric_labels), value in parsed.items()
+        if metric == name
+        and all(dict(metric_labels).get(k) == v for k, v in labels.items())
+    )
+
+
+async def _await_counter(
+    client: ThetacryptClient,
+    node_id: int,
+    name: str,
+    expected: float,
+    **labels: str,
+) -> dict:
+    """Poll one node's scrape until ``name{labels} >= expected``.
+
+    The client returns on the *first* node's assembled result; its peers
+    may still be folding the request into their own instances, so the
+    counters converge shortly after — never instantly.
+    """
+    deadline = time.monotonic() + 15.0
+    while True:
+        parsed = parse_text(await client.metrics(node_id))
+        if _counter(parsed, name, **labels) >= expected:
+            return parsed
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"node {node_id}: {name}{labels} never reached {expected}: "
+                f"{_counter(parsed, name, **labels)}"
+            )
+        await asyncio.sleep(0.1)
+
+
+async def drive(client: ThetacryptClient) -> None:
+    for node_id in range(1, PARTIES + 1):
+        await wait_for_ping(client, node_id)
+    print(f"  {PARTIES} daemons up with --precompute-depth {PRECOMPUTE_DEPTH}")
+
+    # Announce two upcoming decrypts; every node stages its share (and,
+    # eagerly, runs the whole instance ahead of demand).
+    secrets = [b"precompute smoke one", b"precompute smoke two"]
+    ciphertexts = [
+        await client.encrypt("sg02", secret, b"smoke") for secret in secrets
+    ]
+    reports = await client.precompute("sg02", items=ciphertexts, label=b"smoke")
+    for node_id, report in reports.items():
+        assert not isinstance(report, Exception), f"node {node_id}: {report}"
+        assert report.get("staged") == len(ciphertexts), (
+            f"node {node_id} staged {report}"
+        )
+    print(f"  announced {len(ciphertexts)} requests: staged on every node")
+
+    # Warm requests: correct results, served from the pipeline.
+    for secret, ciphertext in zip(secrets, ciphertexts):
+        assert await client.decrypt("sg02", ciphertext, b"smoke") == secret
+    for node_id in range(1, PARTIES + 1):
+        parsed = await _await_counter(
+            client,
+            node_id,
+            "repro_precompute_served_total",
+            len(ciphertexts),
+            op="decrypt",
+            source="pool",
+        )
+        depth_series = any(
+            metric == "repro_precompute_pool_depth"
+            for (metric, _) in parsed
+        )
+        assert depth_series, f"node {node_id}: no pool depth gauge scraped"
+        refill_count = _counter(
+            parsed, "repro_precompute_refill_seconds_count", op="decrypt"
+        )
+        assert refill_count >= len(ciphertexts), (
+            f"node {node_id}: refill histogram counted {refill_count}"
+        )
+        stats = await client.node_stats(node_id)
+        pipeline = stats.get("precompute", {})
+        assert pipeline.get("enabled") is True, (
+            f"node {node_id}: pipeline not enabled: {pipeline}"
+        )
+    print("  warm decrypts served from the pool (scrape + node_stats OK)")
+
+    # An unannounced request degrades to the on-demand path, visibly.
+    cold_secret = b"precompute smoke cold"
+    cold = await client.encrypt("sg02", cold_secret, b"smoke")
+    assert await client.decrypt("sg02", cold, b"smoke") == cold_secret
+    for node_id in range(1, PARTIES + 1):
+        await _await_counter(
+            client,
+            node_id,
+            "repro_precompute_served_total",
+            1,
+            op="decrypt",
+            source="inline",
+        )
+    print("  cold decrypt fell back inline (counter scraped)")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="precompute-smoke-") as tmp:
+        out = Path(tmp)
+        print(f"dealing keys for a ({THRESHOLD}, {PARTIES}) network ...")
+        deal = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "deal_keys.py"),
+                "--parties", str(PARTIES),
+                "--threshold", str(THRESHOLD),
+                "--schemes", "sg02",
+                "--base-port", str(BASE_PORT),
+                "--rpc-base-port", str(RPC_BASE_PORT),
+                "--data-dir",
+                "--out", str(out),
+            ],
+            env=CHILD_ENV,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert deal.returncode == 0, deal.stderr
+        daemons = [spawn_daemon(out, i) for i in range(1, PARTIES + 1)]
+        try:
+
+            async def run() -> None:
+                addresses = {
+                    i: ("127.0.0.1", RPC_BASE_PORT + i)
+                    for i in range(1, PARTIES + 1)
+                }
+                client = ThetacryptClient(addresses)
+                try:
+                    await drive(client)
+                finally:
+                    await client.close()
+
+            asyncio.run(run())
+        finally:
+            for daemon in daemons:
+                if daemon.poll() is None:
+                    daemon.terminate()
+            # The orphan check: the refill task must not pin the daemon
+            # past SIGTERM — both processes must exit on their own.
+            deadline = time.monotonic() + 30.0
+            for daemon in daemons:
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    daemon.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    daemon.kill()
+                    raise AssertionError(
+                        "daemon survived SIGTERM: refill loop pinned shutdown"
+                    )
+        print("  both daemons exited cleanly after SIGTERM")
+    print("precompute smoke OK")
+
+
+if __name__ == "__main__":
+    main()
