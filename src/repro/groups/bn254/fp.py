@@ -10,6 +10,7 @@ rely on.
 from __future__ import annotations
 
 from ...errors import CryptoError
+from ...mathutils import backends as _mb
 
 #: Base-field prime of alt_bn128 (the BN254 instantiation used by Ethereum).
 P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
@@ -68,7 +69,7 @@ class Fp2:
         norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
         if norm == 0:
             raise CryptoError("inversion of zero in Fp2")
-        inv = pow(norm, -1, P)
+        inv = _mb.modinv(norm, P)
         return Fp2(self.c0 * inv, -self.c1 * inv)
 
     def __pow__(self, exponent: int) -> "Fp2":
@@ -103,19 +104,19 @@ class Fp2:
         if self.c1 == 0:
             # Purely real: either √c0 exists in Fp, or √(−c0)·u works since
             # (y·u)² = −y².
-            if pow(self.c0, (P - 1) // 2, P) == 1:
+            if _mb.modexp(self.c0, (P - 1) // 2, P) == 1:
                 return Fp2(sqrt_mod_prime(self.c0, P), 0)
             return Fp2(0, sqrt_mod_prime((-self.c0) % P, P))
         norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
         alpha = sqrt_mod_prime(norm, P)
-        inv2 = pow(2, -1, P)
+        inv2 = _mb.modinv(2, P)
         for candidate_alpha in (alpha, (-alpha) % P):
             delta = (self.c0 + candidate_alpha) * inv2 % P
-            if pow(delta, (P - 1) // 2, P) in (0, 1):
+            if _mb.modexp(delta, (P - 1) // 2, P) in (0, 1):
                 x = sqrt_mod_prime(delta, P)
                 if x == 0:
                     continue
-                y = self.c1 * pow(2 * x, -1, P) % P
+                y = self.c1 * _mb.modinv(2 * x, P) % P
                 root = Fp2(x, y)
                 if root.square() == self:
                     return root

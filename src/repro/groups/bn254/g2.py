@@ -142,6 +142,36 @@ class BN254G2Group(Group):
             raise SerializationError("bn254 G2 point not in prime-order subgroup")
         return point
 
+    raw_coords = 4
+
+    def elements_to_raw(self, elements) -> list[tuple[int, ...]]:
+        """Affine Fp2 coordinate tuples; infinity encodes as all zeros.
+
+        G2 points are stored affine already, so no inversion batch is
+        needed — the codec exists so G2 fixed-base tables persist like the
+        other curves'.
+        """
+        raw: list[tuple[int, ...]] = []
+        for element in elements:
+            if element.infinity:
+                raw.append((0, 0, 0, 0))
+                continue
+            raw.append(
+                (element.x.c0, element.x.c1, element.y.c0, element.y.c1)
+            )
+        return raw
+
+    def element_from_raw(self, coords) -> BN254G2Element:
+        if all(c == 0 for c in coords):
+            return self.identity()
+        if any(not 0 <= c < P for c in coords):
+            raise SerializationError("bn254 G2 raw coordinate out of range")
+        x = Fp2(coords[0], coords[1])
+        y = Fp2(coords[2], coords[3])
+        if not _on_twist(x, y):
+            raise SerializationError("bn254 G2 raw point not on twist")
+        return BN254G2Element(self, x, y)
+
     def hash_to_element(self, data: bytes) -> BN254G2Element:
         """Try-and-increment x in Fp2, then clear the (2p − r) cofactor."""
         counter = 0

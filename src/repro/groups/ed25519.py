@@ -13,6 +13,8 @@ from __future__ import annotations
 import hashlib
 
 from ..errors import SerializationError
+from ..mathutils import backends as _mb
+from ..mathutils.modular import batch_inverse
 from .base import Group, GroupElement
 
 P = 2**255 - 19
@@ -32,7 +34,7 @@ def _recover_x(y: int, sign: int) -> int | None:
     u = (y2 - 1) % P
     v = (D * y2 + 1) % P
     # Candidate root x = u·v³·(u·v⁷)^((p-5)/8), the p = 5 (mod 8) shortcut.
-    x = (u * pow(v, 3, P) * pow(u * pow(v, 7, P), (P - 5) // 8, P)) % P
+    x = (u * pow(v, 3, P) * _mb.modexp(u * pow(v, 7, P), (P - 5) // 8, P)) % P
     vx2 = (v * x * x) % P
     if vx2 == (P - u) % P:
         x = (x * _SQRT_M1) % P
@@ -111,7 +113,7 @@ class Ed25519Element(GroupElement):
         return hash(self.to_bytes())
 
     def to_bytes(self) -> bytes:
-        z_inv = pow(self.z, -1, P)
+        z_inv = _mb.modinv(self.z, P)
         x = (self.x * z_inv) % P
         y = (self.y * z_inv) % P
         encoded = y | ((x & 1) << 255)
@@ -157,6 +159,27 @@ class Ed25519Group(Group):
         if not point._mul_raw(L).is_identity():
             raise SerializationError("ed25519 point not in prime-order subgroup")
         return point
+
+    raw_coords = 2
+
+    def elements_to_raw(self, elements) -> list[tuple[int, ...]]:
+        """Affine (x, y) pairs, all projective z's inverted in one batch."""
+        inverses = iter(batch_inverse([e.z for e in elements], P))
+        raw: list[tuple[int, ...]] = []
+        for element in elements:
+            z_inv = next(inverses)
+            raw.append((element.x * z_inv % P, element.y * z_inv % P))
+        return raw
+
+    def element_from_raw(self, coords) -> Ed25519Element:
+        x, y = coords
+        if not (0 <= x < P and 0 <= y < P):
+            raise SerializationError("ed25519 raw coordinate out of range")
+        # Twisted Edwards equation: -x² + y² = 1 + d·x²·y² (mod p).
+        x2, y2 = x * x % P, y * y % P
+        if (y2 - x2 - 1 - D * x2 * y2) % P != 0:
+            raise SerializationError("ed25519 raw point not on curve")
+        return Ed25519Element(self, x, y, 1, x * y % P)
 
     def hash_to_element(self, data: bytes) -> Ed25519Element:
         """Try-and-increment onto the curve, then clear the cofactor."""

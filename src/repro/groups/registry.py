@@ -15,17 +15,25 @@ def register_group(name: str, factory: Callable[[], Group]) -> None:
     _FACTORIES[name] = factory
 
 
+_BUILTINS: Dict[str, Callable[[], Group]] | None = None
+
+
 def _builtin_factories() -> Dict[str, Callable[[], Group]]:
     # Imported lazily so that loading one curve backend does not pay for the
-    # other (BN254's tower construction does noticeable work at import time).
-    from . import bn254, ed25519, secp256k1
+    # other (BN254's tower construction does noticeable work at import time),
+    # and memoized so repeated list_groups()/get_group() calls don't redo
+    # the submodule lookups.
+    global _BUILTINS
+    if _BUILTINS is None:
+        from . import bn254, ed25519, secp256k1
 
-    return {
-        "ed25519": ed25519.ed25519,
-        "bn254g1": bn254.bn254_g1,
-        "bn254g2": bn254.bn254_g2,
-        "secp256k1": secp256k1.secp256k1,
-    }
+        _BUILTINS = {
+            "ed25519": ed25519.ed25519,
+            "bn254g1": bn254.bn254_g1,
+            "bn254g2": bn254.bn254_g2,
+            "secp256k1": secp256k1.secp256k1,
+        }
+    return _BUILTINS
 
 
 def get_group(name: str) -> Group:

@@ -14,7 +14,8 @@ from __future__ import annotations
 import hashlib
 
 from ..errors import SerializationError
-from ..mathutils.modular import sqrt_mod_prime
+from ..mathutils import backends as _mb
+from ..mathutils.modular import batch_inverse, sqrt_mod_prime
 from .base import Group, GroupElement
 
 P = 2**256 - 2**32 - 977
@@ -39,7 +40,7 @@ class Secp256k1Element(GroupElement):
     def affine(self) -> tuple[int, int]:
         if self.z == 0:
             return 0, 0
-        z_inv = pow(self.z, -1, P)
+        z_inv = _mb.modinv(self.z, P)
         z2 = z_inv * z_inv % P
         return self.x * z2 % P, self.y * z2 * z_inv % P
 
@@ -169,6 +170,37 @@ class Secp256k1Group(Group):
         # Cofactor 1: on-curve implies in-group.
         return Secp256k1Element(self, x, y, 1)
 
+    raw_coords = 2
+
+    def elements_to_raw(self, elements) -> list[tuple[int, ...]]:
+        """Batch-normalized affine (x, y) pairs; infinity encodes as (0, 0).
+
+        One Montgomery batch inversion covers every non-infinity z, instead
+        of the per-element ``modinv`` that :meth:`Secp256k1Element.affine`
+        pays when called point by point.
+        """
+        z_values = [e.z for e in elements if e.z != 0]
+        inverses = iter(batch_inverse(z_values, P))
+        raw: list[tuple[int, ...]] = []
+        for element in elements:
+            if element.z == 0:
+                raw.append((0, 0))
+                continue
+            z_inv = next(inverses)
+            z2 = z_inv * z_inv % P
+            raw.append((element.x * z2 % P, element.y * z2 * z_inv % P))
+        return raw
+
+    def element_from_raw(self, coords) -> Secp256k1Element:
+        x, y = coords
+        if x == 0 and y == 0:
+            return self.identity()
+        if not (0 <= x < P and 0 <= y < P):
+            raise SerializationError("secp256k1 raw coordinate out of range")
+        if (y * y - x * x * x - B) % P != 0:
+            raise SerializationError("secp256k1 raw point not on curve")
+        return Secp256k1Element(self, x, y, 1)
+
     def hash_to_element(self, data: bytes) -> Secp256k1Element:
         counter = 0
         while True:
@@ -178,7 +210,7 @@ class Secp256k1Group(Group):
             counter += 1
             x = int.from_bytes(digest, "big") % P
             y2 = (x * x * x + B) % P
-            if pow(y2, (P - 1) // 2, P) != 1:
+            if _mb.modexp(y2, (P - 1) // 2, P) != 1:
                 continue
             y = sqrt_mod_prime(y2, P)
             if y > P - y:

@@ -1,10 +1,20 @@
 """Number-theoretic building blocks shared by every cryptographic substrate."""
 
+from .backends import (
+    active_backend,
+    available_backends,
+    backend_info,
+    set_backend,
+    use_backend,
+)
 from .modular import (
     batch_inverse,
     crt_pair,
     inverse_mod,
     jacobi_symbol,
+    modexp,
+    modexp_many,
+    multiexp_mod,
     sqrt_mod_prime,
 )
 from .primes import (
@@ -22,13 +32,21 @@ from .lagrange import (
 )
 
 __all__ = [
+    "active_backend",
+    "available_backends",
+    "backend_info",
     "batch_inverse",
     "clear_lagrange_cache",
     "lagrange_cache_stats",
     "crt_pair",
     "inverse_mod",
     "jacobi_symbol",
+    "modexp",
+    "modexp_many",
+    "multiexp_mod",
+    "set_backend",
     "sqrt_mod_prime",
+    "use_backend",
     "is_probable_prime",
     "next_prime",
     "random_prime",

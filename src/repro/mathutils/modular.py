@@ -1,8 +1,19 @@
-"""Modular arithmetic primitives: inverses, CRT, Jacobi, square roots."""
+"""Modular arithmetic primitives: inverses, CRT, Jacobi, square roots.
+
+Since the math-backend registry (docs/performance.md, "Math backends")
+these functions are thin wrappers that dispatch through the active
+backend — pure Python, batched pure Python, or gmpy2 — and translate the
+backends' ``ValueError`` domain errors into :class:`CryptoError`.  The
+public contracts below are unchanged from the original pure
+implementations, and every backend is bit-identical on them.
+"""
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..errors import CryptoError
+from . import backends
 
 
 def inverse_mod(value: int, modulus: int) -> int:
@@ -15,12 +26,12 @@ def inverse_mod(value: int, modulus: int) -> int:
     if modulus <= 0:
         raise CryptoError("modulus must be positive")
     try:
-        return pow(value, -1, modulus)
+        return backends.modinv(value, modulus)
     except ValueError as exc:
         raise CryptoError(f"{value} is not invertible modulo {modulus}") from exc
 
 
-def batch_inverse(values: "list[int] | tuple[int, ...]", modulus: int) -> list[int]:
+def batch_inverse(values: "Sequence[int]", modulus: int) -> list[int]:
     """Invert many values with a single modular inversion (Montgomery's trick).
 
     Computes ``[v^-1 mod modulus for v in values]`` using one call to
@@ -29,28 +40,58 @@ def batch_inverse(values: "list[int] | tuple[int, ...]", modulus: int) -> list[i
     path: all ``t+1`` interpolation denominators share one inversion.
 
     Raises :class:`CryptoError` if any value is zero or shares a factor with
-    the modulus (same contract as :func:`inverse_mod`).
+    the modulus (same contract as :func:`inverse_mod`).  The failure is
+    all-or-nothing: a bad value anywhere in the list poisons the shared
+    inversion, so no partial results are returned.
     """
-    if not values:
-        return []
-    prefix: list[int] = []
-    acc = 1
-    for value in values:
-        if value % modulus == 0:
-            raise CryptoError(f"0 is not invertible modulo {modulus}")
-        acc = acc * value % modulus
-        prefix.append(acc)
-    inv = inverse_mod(acc, modulus)
-    out = [0] * len(values)
-    for idx in range(len(values) - 1, -1, -1):
-        before = prefix[idx - 1] if idx else 1
-        out[idx] = inv * before % modulus
-        inv = inv * values[idx] % modulus
-    return out
+    if modulus <= 0:
+        raise CryptoError("modulus must be positive")
+    try:
+        return backends.batch_modinv(values, modulus)
+    except ValueError as exc:
+        raise CryptoError(str(exc)) from exc
+
+
+def modexp(base: int, exponent: int, modulus: int) -> int:
+    """``base ** exponent mod modulus`` through the active backend.
+
+    Negative exponents invert the base first (``CryptoError`` when no
+    inverse exists), matching built-in ``pow`` semantics.
+    """
+    try:
+        return backends.modexp(base, exponent, modulus)
+    except ValueError as exc:
+        raise CryptoError(
+            f"{base} is not invertible modulo {modulus}"
+        ) from exc
+
+
+def modexp_many(base: int, exponents: Sequence[int], modulus: int) -> list[int]:
+    """Many powers of one base in one pass (fused by capable backends)."""
+    try:
+        return backends.modexp_many(base, exponents, modulus)
+    except ValueError as exc:
+        raise CryptoError(str(exc)) from exc
+
+
+def multiexp_mod(pairs: Sequence[tuple[int, int]], modulus: int) -> int:
+    """Fused product ``Π base^exp mod modulus`` over ``(base, exp)`` pairs.
+
+    Negative exponents are handled by inverting the base (``CryptoError``
+    when not invertible) — the hot step of SH00's share combination.
+    """
+    try:
+        return backends.multiexp(pairs, modulus)
+    except ValueError as exc:
+        raise CryptoError(str(exc)) from exc
 
 
 def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
-    """Combine ``x = r1 mod m1`` and ``x = r2 mod m2`` for coprime moduli."""
+    """Combine ``x = r1 mod m1`` and ``x = r2 mod m2`` for coprime moduli.
+
+    Non-coprime moduli make ``m1`` non-invertible modulo ``m2`` and raise
+    :class:`CryptoError` (no silent wrong answers for inconsistent inputs).
+    """
     m1_inv = inverse_mod(m1, m2)
     diff = (r2 - r1) % m2
     return (r1 + m1 * ((diff * m1_inv) % m2)) % (m1 * m2)
@@ -58,20 +99,10 @@ def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
 
 def jacobi_symbol(a: int, n: int) -> int:
     """Compute the Jacobi symbol (a/n) for odd ``n`` > 0."""
-    if n <= 0 or n % 2 == 0:
-        raise CryptoError("Jacobi symbol requires odd positive n")
-    a %= n
-    result = 1
-    while a:
-        while a % 2 == 0:
-            a //= 2
-            if n % 8 in (3, 5):
-                result = -result
-        a, n = n, a
-        if a % 4 == 3 and n % 4 == 3:
-            result = -result
-        a %= n
-    return result if n == 1 else 0
+    try:
+        return backends.jacobi(a, n)
+    except ValueError as exc:
+        raise CryptoError(str(exc)) from exc
 
 
 def sqrt_mod_prime(a: int, p: int) -> int:
@@ -80,33 +111,7 @@ def sqrt_mod_prime(a: int, p: int) -> int:
     Raises :class:`CryptoError` when ``a`` is a non-residue.  Used by the
     hash-to-curve routines that need y from a curve equation.
     """
-    a %= p
-    if a == 0:
-        return 0
-    if p == 2:
-        return a
-    if pow(a, (p - 1) // 2, p) != 1:
-        raise CryptoError("no square root exists")
-    if p % 4 == 3:
-        return pow(a, (p + 1) // 4, p)
-    # Tonelli–Shanks for p == 1 (mod 4).
-    q, s = p - 1, 0
-    while q % 2 == 0:
-        q //= 2
-        s += 1
-    z = 2
-    while pow(z, (p - 1) // 2, p) != p - 1:
-        z += 1
-    m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
-    while t != 1:
-        t2 = t
-        i = 0
-        while t2 != 1:
-            t2 = (t2 * t2) % p
-            i += 1
-            if i == m:
-                raise CryptoError("Tonelli-Shanks failed: input not a residue")
-        b = pow(c, 1 << (m - i - 1), p)
-        m, c = i, (b * b) % p
-        t, r = (t * c) % p, (r * b) % p
-    return r
+    try:
+        return backends.sqrt_mod(a, p)
+    except ValueError as exc:
+        raise CryptoError(str(exc)) from exc

@@ -22,7 +22,7 @@ from typing import Sequence
 
 from ..errors import InvalidShareError, InvalidSignatureError
 from ..mathutils.lagrange import shoup_lagrange_coefficient
-from ..mathutils.modular import inverse_mod
+from ..mathutils.modular import inverse_mod, multiexp_mod
 from ..rsa.keygen import RsaModulus, modulus_for_bits
 from ..serialization import Reader, encode_bytes, encode_int
 from ..sharing.integer_shamir import share_integer_secret
@@ -234,14 +234,12 @@ class Sh00SignatureScheme(ThresholdSignature):
         x = _full_domain_hash(message, n)
         x_tilde = pow(x, 4 * public_key.delta, n)
         v_i = public_key.verification_key(share.id)
-        v_commit = (
-            pow(public_key.v, share.response, n)
-            * inverse_mod(pow(v_i, share.challenge, n), n)
-        ) % n
-        x_commit = (
-            pow(x_tilde, share.response, n)
-            * inverse_mod(pow(share.value, 2 * share.challenge, n), n)
-        ) % n
+        v_commit = multiexp_mod(
+            [(public_key.v, share.response), (v_i, -share.challenge)], n
+        )
+        x_commit = multiexp_mod(
+            [(x_tilde, share.response), (share.value, -2 * share.challenge)], n
+        )
         expected = self._proof_challenge(
             public_key, x_tilde, share.id, share.value, v_commit, x_commit
         )
@@ -257,14 +255,18 @@ class Sh00SignatureScheme(ThresholdSignature):
         n = public_key.n
         chosen = select_shares(shares, public_key.threshold)
         ids = [share.id for share in chosen]
-        w = 1
-        for share in chosen:
-            coefficient = shoup_lagrange_coefficient(public_key.parties, ids, share.id)
-            exponent = 2 * coefficient
-            if exponent >= 0:
-                w = (w * pow(share.value, exponent, n)) % n
-            else:
-                w = (w * pow(inverse_mod(share.value, n), -exponent, n)) % n
+        # One fused multi-exponentiation: all t+1 Δ-scaled Lagrange powers
+        # share a single Straus squaring chain under the active backend.
+        w = multiexp_mod(
+            [
+                (
+                    share.value,
+                    2 * shoup_lagrange_coefficient(public_key.parties, ids, share.id),
+                )
+                for share in chosen
+            ],
+            n,
+        )
         # w^e = x^{4Δ²}; Bezout on (4Δ², e) turns w into a plain e-th root.
         x = _full_domain_hash(message, n)
         e_prime = 4 * public_key.delta * public_key.delta

@@ -33,6 +33,7 @@ def load_node(
     offload_policy: str | None = None,
     coalesce_window: float | None = None,
     precompute_depth: int | None = None,
+    math_backend: str | None = None,
 ) -> ThetacryptNode:
     """Build a node from its on-disk configuration and keystore.
 
@@ -40,8 +41,9 @@ def load_node(
     keys from a previous life; re-installing identical dealer output is a
     no-op (``install_key`` is idempotent for identical material).
     ``crypto_workers`` / ``offload_policy`` / ``coalesce_window`` /
-    ``precompute_depth`` override the config's pool sizing, offload
-    behaviour, and precompute pipeline (the matching CLI flags).
+    ``precompute_depth`` / ``math_backend`` override the config's pool
+    sizing, offload behaviour, precompute pipeline, and math backend (the
+    matching CLI flags).
     """
     with open(config_path) as handle:
         config = NodeConfig.from_json(handle.read())
@@ -51,6 +53,8 @@ def load_node(
         config = replace(config, offload_policy=offload_policy)
     if coalesce_window is not None:
         config = replace(config, coalesce_window=coalesce_window)
+    if math_backend is not None:
+        config = replace(config, math_backend=math_backend)
     if precompute_depth is not None:
         config = replace(
             config,
@@ -153,6 +157,14 @@ def main(argv: list[str] | None = None) -> None:
         "depth, overriding the config's precompute section (0 disables "
         "the pipeline)",
     )
+    parser.add_argument(
+        "--math-backend",
+        choices=("auto", "python", "batched", "gmpy2"),
+        default=None,
+        help="big-int primitive backend, overriding the config's "
+        "math_backend (auto prefers gmpy2 when importable, honouring "
+        "the REPRO_MATH_BACKEND environment variable)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -166,6 +178,7 @@ def main(argv: list[str] | None = None) -> None:
         offload_policy=args.offload_policy,
         coalesce_window=args.coalesce_window,
         precompute_depth=args.precompute_depth,
+        math_backend=args.math_backend,
     )
     asyncio.run(run_until_signal(node, drain_timeout=args.drain_timeout))
 

@@ -48,6 +48,8 @@ from ..telemetry import (
     StorageMetrics,
     default_registry,
     register_crypto_cache_collector,
+    register_fixedbase_collector,
+    register_math_backend_collector,
     render_text,
     summarize,
 )
@@ -78,6 +80,13 @@ class ThetacryptNode:
         crypto_pool: CryptoPool | None = None,
     ):
         self.config = config
+        # Math backend (docs/performance.md, "Math backends"): selected
+        # before any crypto object is touched so every primitive this node
+        # computes — inline, pooled, or precomputed — goes through it.
+        # "auto" honours the REPRO_MATH_BACKEND environment variable.
+        from ..mathutils.backends import set_backend
+
+        set_backend(config.math_backend)
         # Durability (docs/robustness.md): with a data_dir the node owns a
         # crash-safe keystore snapshot, an instance-lifecycle journal, and
         # an idempotent-result cache; previously persisted key shares are
@@ -87,12 +96,19 @@ class ThetacryptNode:
         self._results: DurableResultCache | None = None
         self._storage_metrics: StorageMetrics | None = None
         self._recovery: dict = {}
+        self._table_store = None
         if config.data_dir is not None:
             data_dir = Path(config.data_dir)
             data_dir.mkdir(parents=True, exist_ok=True)
             self._keystore = DurableKeystore(data_dir / "keystore.bin")
             self._journal = WriteAheadLog(data_dir / "journal")
             self._results = DurableResultCache(data_dir / "results")
+            # Fixed-base tables persist alongside the other durable state
+            # (docs/performance.md, "Math backends"): a restart re-installs
+            # them instead of rebuilding.
+            from ..groups import TableStore
+
+            self._table_store = TableStore(data_dir / "tables")
         self.keys = KeyManager(store=self._keystore)
         if transport is None:
             if config.transport != "tcp":
@@ -128,6 +144,8 @@ class ThetacryptNode:
         # registry and are merged into this node's exposition.
         self.registry = MetricRegistry()
         register_crypto_cache_collector(default_registry())
+        register_fixedbase_collector(default_registry())
+        register_math_backend_collector(default_registry())
         if config.data_dir is not None:
             self._storage_metrics = StorageMetrics(self.registry)
         # Crypto worker pool (docs/performance.md): an injected pool lets
@@ -204,6 +222,7 @@ class ThetacryptNode:
 
     async def start(self) -> None:
         self._recover()
+        self._load_tables()
         await self.network.start()
         await self.rpc.start()
         if self._metrics_http is not None:
@@ -272,6 +291,58 @@ class ThetacryptNode:
                 len(in_flight),
             )
 
+    def _load_tables(self) -> None:
+        """Install persisted fixed-base tables (no-op without a data_dir).
+
+        Loaded tables land in the shared precompute cache (counted as
+        ``loads``, not ``tables_built``) and are registered with the blob
+        store so pool workers spawned later warm-start from the same
+        serialized bytes.  Corrupted or version-bumped files were already
+        discarded by ``TableStore.load_all``; the cache simply rebuilds
+        those bases on demand.
+        """
+        if self._table_store is None:
+            return
+        from ..groups import install_table, table_blob
+        from ..workers.blobs import register_table_blob
+
+        loaded, discarded = self._table_store.load_all()
+        for table in loaded:
+            install_table(table)
+            register_table_blob(table_blob(table))
+        self._recovery["tables_loaded"] = len(loaded)
+        self._recovery["tables_discarded"] = discarded
+        if loaded or discarded:
+            logger.info(
+                "node %d installed %d persisted fixed-base tables "
+                "(%d discarded)",
+                self.config.node_id,
+                len(loaded),
+                discarded,
+            )
+
+    def _persist_tables(self) -> None:
+        """Write the cache's current tables to disk (stop-time flush)."""
+        if self._table_store is None:
+            return
+        from ..groups import snapshot_tables
+
+        try:
+            written = self._table_store.save_all(snapshot_tables())
+        except Exception:  # noqa: BLE001 - persistence is best-effort
+            logger.warning(
+                "node %d failed to persist fixed-base tables",
+                self.config.node_id,
+                exc_info=True,
+            )
+            return
+        if written:
+            logger.info(
+                "node %d persisted %d fixed-base tables",
+                self.config.node_id,
+                written,
+            )
+
     async def drain(self, timeout: float | None = None) -> bool:
         """Wait (bounded) for in-flight instances to terminate.
 
@@ -311,6 +382,10 @@ class ThetacryptNode:
                 self._journal.close()
             if self._results is not None:
                 self._results.close()
+            # Persist whatever tables this run promoted, so the next boot
+            # starts warm (tables are deterministic; crash-skipping this
+            # flush only costs a rebuild).
+            self._persist_tables()
 
     @property
     def rpc_address(self) -> tuple[str, int]:
@@ -694,6 +769,7 @@ class ThetacryptNode:
         for even counts) and p95/p99 come from the same source Prometheus
         scrapes — one coherent view with the ``metrics`` endpoint.
         """
+        from ..mathutils.backends import backend_info
         from ..telemetry import crypto_cache_snapshot
 
         records = self.instances.records()
@@ -717,6 +793,9 @@ class ThetacryptNode:
             "recovery": dict(self._recovery),
             "latency": dict(summarize(self.registry.get("repro_instance_seconds"))),
             "crypto_cache": crypto_cache_snapshot(),
+            # Which math backend this process computes with (docs/
+            # performance.md, "Math backends").
+            "crypto_backend": backend_info(),
             # Worker-pool offload state (docs/performance.md): task
             # counters, fallbacks, crashes, live worker pids, the adaptive
             # policy's decisions/EWMAs, and cross-request coalescing.

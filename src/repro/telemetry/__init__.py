@@ -23,6 +23,8 @@ from .instruments import (
     client_redirects_counter,
     crypto_cache_snapshot,
     register_crypto_cache_collector,
+    register_fixedbase_collector,
+    register_math_backend_collector,
 )
 from .registry import (
     DEFAULT_BUCKETS,
@@ -74,6 +76,8 @@ __all__ = [
     "histogram",
     "parse_text",
     "register_crypto_cache_collector",
+    "register_fixedbase_collector",
+    "register_math_backend_collector",
     "render_text",
     "start_trace",
     "summarize",

@@ -421,3 +421,77 @@ def register_crypto_cache_collector(
                 family.labels(cache_name, stat).set(value)
 
     registry.register_collector(collect)
+
+
+#: Fixed-base table-lifecycle gauge names, in ``precompute_stats()`` order.
+_FIXEDBASE_GAUGES = (
+    ("repro_fixedbase_tables_built_total", "tables_built",
+     "Fixed-base tables built from scratch in this process."),
+    ("repro_fixedbase_tables_hits_total", "hits",
+     "Fixed-base cache hits: exponentiations answered from a table."),
+    ("repro_fixedbase_tables_promotions_total", "promotions",
+     "Bases promoted to a table after recurring past the threshold."),
+    ("repro_fixedbase_tables_loaded_total", "loads",
+     "Fixed-base tables installed pre-built (disk persistence or "
+     "worker warm-start) instead of being rebuilt."),
+)
+
+
+def register_fixedbase_collector(registry: MetricRegistry | None = None) -> None:
+    """Expose the fixed-base table lifecycle as dedicated scrape series.
+
+    The aggregate ``repro_crypto_cache`` family already mirrors these
+    counters as labels; these flat series exist so dashboards and the
+    restart smoke test can assert on them directly (a warm restart shows
+    ``loaded`` rising while ``built`` stays flat).  Pull-style and
+    idempotent per registry, like the cache collector.
+    """
+    registry = registry if registry is not None else default_registry()
+    if registry.get(_FIXEDBASE_GAUGES[0][0]) is not None:
+        return
+    gauges = [
+        (registry.gauge(name, help_text), stat)
+        for name, stat, help_text in _FIXEDBASE_GAUGES
+    ]
+
+    def collect() -> None:
+        from ..groups.precompute import precompute_stats
+
+        stats = precompute_stats()
+        for gauge, stat in gauges:
+            gauge.set(stats[stat])
+
+    registry.register_collector(collect)
+
+
+def register_math_backend_collector(
+    registry: MetricRegistry | None = None,
+) -> None:
+    """Expose the active math backend as an info-style metric.
+
+    ``repro_math_backend_info{backend=...,selected_via=...} 1`` — the
+    label pair identifies which primitive substrate this process computes
+    with (docs/performance.md, "Math backends"); refreshed at collect
+    time so a mid-run ``set_backend`` shows up on the next scrape.
+    """
+    registry = registry if registry is not None else default_registry()
+    if registry.get("repro_math_backend_info") is not None:
+        return
+    family = registry.gauge(
+        "repro_math_backend_info",
+        "Active math backend (constant 1; identity is in the labels).",
+        ("backend", "selected_via"),
+    )
+
+    seen: set[tuple[str, str]] = set()
+
+    def collect() -> None:
+        from ..mathutils.backends import backend_info
+
+        info = backend_info()
+        current = (info["name"], info["selected_via"])
+        seen.add(current)
+        for pair in seen:  # zero stale series after a mid-run switch
+            family.labels(*pair).set(1 if pair == current else 0)
+
+    registry.register_collector(collect)

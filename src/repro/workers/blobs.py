@@ -154,6 +154,32 @@ def parent_store() -> BlobStore:
     return _parent_store
 
 
+#: Digests in the parent store that hold serialized fixed-base tables
+#: (see :mod:`repro.groups.tables`).  ``warm_worker`` receives this list
+#: so freshly spawned workers install the tables instead of rebuilding
+#: them.  Insertion-ordered and bounded like the store itself.
+_TABLE_DIGESTS: OrderedDict[str, None] = OrderedDict()
+_TABLE_DIGESTS_CAPACITY = DEFAULT_CAPACITY
+
+
+def register_table_blob(blob: bytes) -> str:
+    """Install a serialized fixed-base table and mark it as such."""
+    digest = _parent_store.put(blob)
+    with _export_lock:
+        _TABLE_DIGESTS[digest] = None
+        _TABLE_DIGESTS.move_to_end(digest)
+        while len(_TABLE_DIGESTS) > _TABLE_DIGESTS_CAPACITY:
+            _TABLE_DIGESTS.popitem(last=False)
+    return digest
+
+
+def parent_table_digests() -> tuple[str, ...]:
+    """Registered table digests still resident in the parent store."""
+    with _export_lock:
+        digests = tuple(_TABLE_DIGESTS)
+    return tuple(d for d in digests if d in _parent_store)
+
+
 def register_export(
     kind: str, scheme: str, obj, exporter: Callable[[], bytes]
 ) -> str:

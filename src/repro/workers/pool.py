@@ -43,7 +43,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 from ..errors import ThetacryptError
 from ..telemetry import CryptoPoolMetrics, MetricRegistry, default_registry
-from .blobs import parent_store
+from .blobs import parent_store, parent_table_digests
 from .policy import OffloadPolicy, PolicyDecision
 from .tasks import DEFAULT_WARM_GROUPS, BlobCacheMissError, warm_worker
 
@@ -191,8 +191,14 @@ class CryptoPool:
                 mp_context=context,
                 initializer=warm_worker,
                 # Warm-install the parent's current key blobs so the
-                # steady state never ships key material per task.
-                initargs=(self._warm_groups, tuple(parent_store().items())),
+                # steady state never ships key material per task, and the
+                # serialized fixed-base tables so workers warm-start from
+                # deserialization instead of rebuilding.
+                initargs=(
+                    self._warm_groups,
+                    tuple(parent_store().items()),
+                    parent_table_digests(),
+                ),
             )
             self._spawned += 1
             self._generation += 1

@@ -73,6 +73,7 @@ class BlobCacheMissError(Exception):
 def warm_worker(
     group_names: tuple[str, ...] = DEFAULT_WARM_GROUPS,
     blob_items: tuple[tuple[str, bytes], ...] = (),
+    table_digests: tuple[str, ...] = (),
 ) -> None:
     """Process-pool initializer: build the hot fixed-base tables once.
 
@@ -80,15 +81,31 @@ def warm_worker(
     work at import time), so the first real task measures cryptography,
     not interpreter warm-up — and pre-installs the parent's current key
     blobs so the steady state never ships key material per task.
-    """
-    from ..groups.precompute import fixed_base_table
-    from ..groups.registry import get_group
 
+    ``table_digests`` names blobs (already in ``blob_items``) that hold
+    serialized fixed-base tables; those install directly into this
+    worker's precompute cache, so the generator warm-up below finds them
+    already present instead of rebuilding (deserializing is 2–3× cheaper
+    than building).  A table blob that fails its checks is skipped — the
+    worker then simply rebuilds that table on demand.
+    """
+    from ..groups.precompute import fixed_base_table, install_table
+    from ..groups.registry import get_group
+    from ..groups.tables import table_from_blob
+
+    for digest, blob in blob_items:
+        _worker_blobs.add(digest, blob)
+    for digest in table_digests:
+        blob = _worker_blobs.get_blob(digest)
+        if blob is None:
+            continue
+        try:
+            install_table(table_from_blob(blob, source=f"table blob {digest[:12]}"))
+        except Exception:  # noqa: BLE001 - a bad table must not kill the worker
+            continue
     for name in group_names:
         group = get_group(name)
         fixed_base_table(group.generator())
-    for digest, blob in blob_items:
-        _worker_blobs.add(digest, blob)
 
 
 def install_blob(blob_items: list[tuple[str, bytes]]) -> int:

@@ -13,6 +13,7 @@ from repro.mathutils.lagrange import (
     shoup_lagrange_coefficient,
 )
 from repro.mathutils.modular import (
+    batch_inverse,
     crt_pair,
     inverse_mod,
     jacobi_symbol,
@@ -44,10 +45,51 @@ class TestInverseMod:
             inverse_mod(1, 0)
 
 
+class TestBatchInverse:
+    def test_matches_individual_inverses(self):
+        values = [7, 123456789, P256 - 1, 2]
+        assert batch_inverse(values, P256) == [
+            inverse_mod(v, P256) for v in values
+        ]
+
+    def test_repeated_values(self):
+        # Montgomery's trick walks a running product; repeats must not
+        # confuse the backward unwind.
+        values = [7, 7, 13, 7, 13]
+        result = batch_inverse(values, P256)
+        for value, inverse in zip(values, result):
+            assert value * inverse % P256 == 1
+
+    def test_empty(self):
+        assert batch_inverse([], P256) == []
+
+    def test_zero_mid_list_poisons_whole_batch(self):
+        with pytest.raises(CryptoError):
+            batch_inverse([3, 0, 5], P256)
+
+    def test_modulus_sharing_factor_mid_list_poisons_whole_batch(self):
+        # 6 shares a factor with 9; the contract is all-or-nothing — no
+        # partial results even though 5 and 7 are individually invertible.
+        with pytest.raises(CryptoError):
+            batch_inverse([5, 6, 7], 9)
+
+    def test_multiple_of_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            batch_inverse([2 * P256], P256)
+
+
 class TestCrt:
     def test_pair(self):
         x = crt_pair(2, 3, 3, 5)
         assert x % 3 == 2 and x % 5 == 3
+
+    def test_non_coprime_moduli_rejected(self):
+        with pytest.raises(CryptoError):
+            crt_pair(1, 6, 3, 9)  # gcd(6, 9) = 3
+
+    def test_equal_moduli_rejected(self):
+        with pytest.raises(CryptoError):
+            crt_pair(2, 7, 3, 7)
 
     @given(st.integers(0, 10**6))
     def test_round_trip(self, x):
@@ -68,6 +110,21 @@ class TestJacobi:
     def test_even_modulus_rejected(self):
         with pytest.raises(CryptoError):
             jacobi_symbol(3, 8)
+
+    def test_non_positive_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            jacobi_symbol(3, 0)
+        with pytest.raises(CryptoError):
+            jacobi_symbol(3, -7)
+
+    def test_n_equals_one_boundary(self):
+        # (a/1) = 1 for every a, including 0 and negatives.
+        for a in (-5, 0, 1, 42):
+            assert jacobi_symbol(a, 1) == 1
+
+    def test_negative_a_reduces_mod_n(self):
+        for a in (-1, -2, -14, 3):
+            assert jacobi_symbol(a, 15) == jacobi_symbol(a % 15, 15)
 
     def test_matches_euler_for_prime(self):
         p = 10007
